@@ -1,0 +1,92 @@
+"""Exp-10/11 + Table 5: the DBLP case study.
+
+On the collaboration network each model crowns a different top-1
+(paper: Truss-Div -> Gabor Fichtinger with 6 research-group contexts;
+Comp-Div -> Ming Li with 8 sparse clusters; Core-Div -> Rui Li with 3
+maximal 5-cores), and Table 5 shows the Truss-Div ego-network is the
+densest and its center the most activatable.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.gct import GCTIndex
+from repro.datasets.dblp import dblp_like_network, TRUSS_HUB, COMP_HUB, CORE_HUB
+from repro.graph.egonet import ego_network
+from repro.influence.contagion import center_activation_probability
+from repro.models import CompDivModel, CoreDivModel, TrussDivModel
+
+K, R = 5, 1
+P_TABLE5 = 0.05
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return dblp_like_network(seed=7)
+
+
+@pytest.mark.benchmark(group="case-study")
+def test_exp10_11_top1_per_model(benchmark, report, dblp):
+    index = GCTIndex.build(dblp)
+    truss = TrussDivModel(index=index).top_r(dblp, K, R)
+    comp = CompDivModel().top_r(dblp, K, R)
+    core = CoreDivModel().top_r(dblp, K, R)
+
+    rows = [
+        ["Truss-Div", repr(truss.vertices[0]), truss.scores[0]],
+        ["Comp-Div", repr(comp.vertices[0]), comp.scores[0]],
+        ["Core-Div", repr(core.vertices[0]), core.scores[0]],
+    ]
+    report.add("Exp-10/11 - case study winners", format_table(
+        ["model", "top-1 author", "|SC(v)|"],
+        rows, title=f"Exp-10/11: top-1 per model on DBLP analogue (k={K})"))
+
+    # Paper outcome: three different winners with these context counts.
+    assert truss.vertices == [TRUSS_HUB] and truss.scores == [6]
+    assert comp.vertices == [COMP_HUB] and comp.scores == [8]
+    assert core.vertices == [CORE_HUB] and core.scores == [3]
+
+    # Exp-10's structural point: Comp-Div and Core-Div cannot decompose
+    # the Truss-Div winner's ego-network into its six groups.
+    assert CompDivModel().vertex_score(dblp, TRUSS_HUB, K) < 6
+    assert CoreDivModel().vertex_score(dblp, TRUSS_HUB, K) < 6
+
+    benchmark(lambda: TrussDivModel(index=index).top_r(dblp, K, R))
+
+
+@pytest.mark.benchmark(group="case-study")
+def test_table5_ego_quality(benchmark, report, dblp):
+    winners = {
+        "Comp-Div": COMP_HUB,
+        "Core-Div": CORE_HUB,
+        "Truss-Div": TRUSS_HUB,
+    }
+    contexts = {
+        "Comp-Div": CompDivModel().vertex_score(dblp, COMP_HUB, K),
+        "Core-Div": CoreDivModel().vertex_score(dblp, CORE_HUB, K),
+        "Truss-Div": TrussDivModel().vertex_score(dblp, TRUSS_HUB, K),
+    }
+    rows = []
+    density = {}
+    activation = {}
+    for model, author in winners.items():
+        ego = ego_network(dblp, author)
+        density[model] = ego.num_edges / ego.num_vertices
+        activation[model] = center_activation_probability(
+            dblp, author, P_TABLE5, num_seeds=10, runs=600, seed=5)
+        rows.append([model, author, ego.num_vertices, ego.num_edges,
+                     round(density[model], 2), contexts[model],
+                     round(activation[model], 3)])
+
+    report.add("Table 5 - ego quality", format_table(
+        ["model", "author", "|V|(ego)", "|E|(ego)", "density", "|SC|",
+         "act.prob"],
+        rows, title=f"Table 5: top-1 ego-network statistics (p={P_TABLE5})"))
+
+    # Paper shape: the Truss-Div winner has the densest ego-network and
+    # the highest activation probability.
+    assert density["Truss-Div"] == max(density.values())
+    assert activation["Truss-Div"] == max(activation.values())
+
+    benchmark(lambda: center_activation_probability(
+        dblp, TRUSS_HUB, P_TABLE5, num_seeds=10, runs=60, seed=5))

@@ -1,0 +1,71 @@
+"""Extension: quantify the Exp-7 correlation and probe its IC dependence.
+
+The paper validates "structural diversity predicts contagion" under the
+independent cascade model with grouped bar charts.  This bench
+quantifies the claim with Spearman rank correlations (scipy) and
+repeats the analysis under the Linear Threshold model.
+
+Finding (recorded in EXPERIMENTS.md): under IC the association is
+positive and highly significant, confirming Exp-7.  Under LT with the
+standard uniform ``1/d(v)`` weights it washes out — LT activation
+difficulty scales with degree, and high-diversity vertices are
+high-degree almost by definition, so the two effects cancel.  The
+paper's claim is therefore a statement about *exposure-driven* (IC
+style) contagion, which matches its framing of social contagion as
+per-contact infection.
+"""
+
+import pytest
+
+from repro.analysis import diversity_contagion_correlation, summarize_scores
+from repro.bench.reporting import format_table
+from repro.bench.runner import gct_index
+from repro.datasets.registry import load_dataset
+from repro.influence.ic import activation_probabilities
+from repro.influence.lt import lt_activation_probabilities
+from repro.influence.seeds import ris_seeds
+
+DATASET = "orkut"
+K = 4
+P = 0.05
+RUNS = 400
+
+
+@pytest.mark.benchmark(group="extension-lt")
+def test_extension_lt_and_ic_correlation(benchmark, report):
+    graph = load_dataset(DATASET)
+    index = gct_index(DATASET)
+    scores = {v: index.score(v, K) for v in graph.vertices()}
+    summary = summarize_scores(scores)
+    seeds = ris_seeds(graph, 50, P, num_samples=600, seed=21)
+    targets = [v for v, s in scores.items() if s > 0]
+
+    ic_probs = activation_probabilities(graph, seeds, P, targets=targets,
+                                        runs=RUNS, seed=21)
+    lt_probs = lt_activation_probabilities(graph, seeds, targets,
+                                           runs=RUNS, seed=21)
+    ic_corr = diversity_contagion_correlation(scores, ic_probs,
+                                              include_zero_scores=False)
+    lt_corr = diversity_contagion_correlation(scores, lt_probs,
+                                              include_zero_scores=False)
+
+    rows = [
+        ["IC", round(ic_corr.spearman_rho, 3), f"{ic_corr.spearman_p:.2e}",
+         ic_corr.sample_size],
+        ["LT", round(lt_corr.spearman_rho, 3), f"{lt_corr.spearman_p:.2e}",
+         lt_corr.sample_size],
+    ]
+    report.add("Extension - LT vs IC correlation", format_table(
+        ["diffusion model", "spearman rho", "p-value", "n"],
+        rows,
+        title=f"Extension: diversity-contagion rank correlation on "
+              f"{DATASET} (k={K}; scores up to {summary.maximum})"))
+
+    # The paper's IC claim: positive and significant.
+    assert ic_corr.is_positive and ic_corr.is_significant()
+    # Under LT the effect washes out (degree penalty cancels exposure);
+    # assert it is weak rather than strongly reversed.
+    assert abs(lt_corr.spearman_rho) < 0.3
+
+    benchmark(lambda: lt_activation_probabilities(
+        graph, seeds, targets[:100], runs=40, seed=21))

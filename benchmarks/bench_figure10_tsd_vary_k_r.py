@@ -1,0 +1,40 @@
+"""Figure 10 / Exp-5: TSD query time varying k and r.
+
+Paper shape: query time mostly *decreases* as k grows (fewer qualifying
+forest edges, harder pruning) and grows only slightly with r (stable
+efficiency).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series
+from repro.bench.runner import tsd_index
+from repro.datasets.registry import SWEEP_DATASETS
+
+KS = [3, 4, 5]
+RS = [50, 100, 150, 200, 250, 300]
+
+
+@pytest.mark.benchmark(group="figure10")
+@pytest.mark.parametrize("dataset", SWEEP_DATASETS)
+def test_figure10_tsd_vary_k_r(benchmark, report, dataset):
+    index = tsd_index(dataset)
+    series = {}
+    for k in KS:
+        times = []
+        for r in RS:
+            result = index.top_r(k, r, collect_contexts=False)
+            times.append(round(result.elapsed_seconds, 5))
+        series[f"k={k}"] = times
+
+    report.add(f"Figure 10 - TSD vs k,r ({dataset})", format_series(
+        f"Figure 10: TSD query seconds vs r on {dataset}",
+        "r", series, RS))
+
+    # Paper shape: stability — no r-point explodes versus the k-curve
+    # average (the paper notes only a slight increase with r).
+    for k, times in series.items():
+        avg = sum(times) / len(times)
+        assert max(times) <= max(10 * avg, 0.05), (k, times)
+
+    benchmark(lambda: index.top_r(4, 100, collect_contexts=False))

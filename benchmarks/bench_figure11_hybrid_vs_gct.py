@@ -1,0 +1,42 @@
+"""Figure 11 / Exp-4: Hybrid vs GCT query time varying r.
+
+Paper shape: Hybrid is competitive at r = 1 but degrades linearly with
+r (it recomputes each answer's social contexts online with Algorithm 2)
+while GCT stays flat (contexts come straight from the index); GCT is
+clearly faster for larger r on every dataset.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series
+from repro.bench.runner import gct_index, hybrid_searcher
+from repro.datasets.registry import SWEEP_DATASETS
+
+K = 3
+RS = [1, 60, 120, 180, 240, 300]
+
+
+@pytest.mark.benchmark(group="figure11")
+@pytest.mark.parametrize("dataset", SWEEP_DATASETS)
+def test_figure11_hybrid_vs_gct(benchmark, report, dataset):
+    gct = gct_index(dataset)
+    hybrid = hybrid_searcher(dataset)
+    series = {"Hybrid": [], "GCT": []}
+    for r in RS:
+        # Hybrid must pay the online context cost — that is its design.
+        h = hybrid.top_r(K, r, collect_contexts=True)
+        g = gct.top_r(K, r, collect_contexts=True)
+        series["Hybrid"].append(round(h.elapsed_seconds, 4))
+        series["GCT"].append(round(g.elapsed_seconds, 4))
+        assert (sorted(h.scores, reverse=True)
+                == sorted(g.scores, reverse=True)), r
+
+    report.add(f"Figure 11 - Hybrid vs GCT ({dataset})", format_series(
+        f"Figure 11: query seconds vs r on {dataset} (k={K})",
+        "r", series, RS))
+
+    # Paper shape: GCT wins clearly at large r.
+    assert series["GCT"][-1] <= series["Hybrid"][-1]
+    assert sum(series["GCT"]) <= sum(series["Hybrid"])
+
+    benchmark(lambda: gct.top_r(K, 300, collect_contexts=True))

@@ -1,0 +1,41 @@
+"""Figure 12 / Exp-6: scalability on power-law graphs.
+
+The paper varies |V| from 1M to 10M with |E| = 5 |V| and shows both
+TSD-index construction time and TSD query time scaling smoothly (near
+linearly) with graph size.  Scaled down 1000x for pure Python, the
+curve shape — sub-quadratic growth, no cliffs — is the reproduced
+claim.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_series
+from repro.core.tsd import TSDIndex
+from repro.datasets.synthetic import power_law_graph
+
+SIZES = [1_000, 2_000, 4_000, 8_000]
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_scalability(benchmark, report):
+    build_times = []
+    query_times = []
+    for n in SIZES:
+        graph = power_law_graph(n, edges_per_vertex=5, seed=42)
+        index = TSDIndex.build(graph)
+        build_times.append(round(index.build_profile.total_seconds, 3))
+        result = index.top_r(3, 100, collect_contexts=False)
+        query_times.append(round(result.elapsed_seconds, 4))
+
+    report.add("Figure 12 - scalability", format_series(
+        "Figure 12: TSD build and query seconds vs |V| (|E| = 5|V|)",
+        "|V|", {"build(s)": build_times, "query(s)": query_times}, SIZES))
+
+    # Shape: build time grows, but sub-quadratically in n (the paper's
+    # curves are near linear; allow generous constant-factor noise).
+    for i in range(1, len(SIZES)):
+        n_ratio = SIZES[i] / SIZES[i - 1]
+        t_ratio = build_times[i] / max(build_times[i - 1], 1e-9)
+        assert t_ratio <= n_ratio ** 2, (SIZES[i], t_ratio)
+
+    benchmark(lambda: TSDIndex.build(power_law_graph(1_000, 5, seed=42)))

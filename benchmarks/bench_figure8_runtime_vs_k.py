@@ -1,0 +1,56 @@
+"""Figure 8 / Exp-2: runtime of all methods varying k.
+
+Paper shape on Gowalla/LiveJournal/Orkut: GCT is the clear winner for
+every k; TSD is next; bound and baseline trail by orders of magnitude;
+Comp-Div and Core-Div (full model searches) sit between baseline and
+the index methods on large graphs.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_series
+from repro.bench.runner import run_method, tsd_index, gct_index
+from repro.datasets.registry import SWEEP_DATASETS, load_dataset
+from repro.models import CompDivModel, CoreDivModel
+
+KS = [2, 3, 4, 5, 6]
+R = 100
+
+
+def _model_time(model, graph, k):
+    start = time.perf_counter()
+    model.top_r(graph, k, R)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="figure8")
+@pytest.mark.parametrize("dataset", SWEEP_DATASETS)
+def test_figure8_runtime_vs_k(benchmark, report, dataset):
+    graph = load_dataset(dataset)
+    tsd_index(dataset)
+    gct_index(dataset)
+    series = {m: [] for m in
+              ("baseline", "bound", "TSD", "GCT", "Comp-Div", "Core-Div")}
+    for k in KS:
+        for method in ("baseline", "bound", "TSD", "GCT"):
+            result = run_method(method, dataset, k, R, collect_contexts=False)
+            series[method].append(round(result.elapsed_seconds, 4))
+        series["Comp-Div"].append(round(_model_time(CompDivModel(), graph, k), 4))
+        series["Core-Div"].append(round(_model_time(CoreDivModel(), graph, k), 4))
+
+    report.add(f"Figure 8 - runtime vs k ({dataset})", format_series(
+        f"Figure 8: running time in seconds vs k on {dataset} (r={R})",
+        "k", series, KS))
+
+    # Paper shape: the index methods beat the baseline at every k, and
+    # GCT wins overall (compare totals to absorb per-point noise).
+    for k_idx in range(len(KS)):
+        assert series["TSD"][k_idx] <= series["baseline"][k_idx]
+        assert series["GCT"][k_idx] <= series["baseline"][k_idx]
+    assert sum(series["GCT"]) <= sum(series["TSD"])
+    assert sum(series["GCT"]) <= sum(series["Comp-Div"])
+    assert sum(series["GCT"]) <= sum(series["Core-Div"])
+
+    benchmark(lambda: run_method("GCT", dataset, 3, R, collect_contexts=False))

@@ -1,0 +1,65 @@
+"""Table 3 / Exp-3: TSD vs GCT — index size, build time, query time.
+
+Paper shape: GCT-index is smaller than TSD-index (supernode compression
+discards intra-context edges), builds faster (one-shot extraction +
+bitmap peeling), and answers queries faster (Lemma 3 vs forest BFS).
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.datasets.registry import dataset_names, load_dataset
+
+K, R = 3, 100
+
+
+def _query_seconds(index) -> float:
+    start = time.perf_counter()
+    index.top_r(K, R, collect_contexts=False)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_index_comparison(benchmark, report):
+    rows = []
+    wins = {"size": 0, "query": 0}
+    totals = {"tsd_build": 0.0, "gct_build": 0.0}
+    for name in dataset_names():
+        graph = load_dataset(name)
+        tsd = TSDIndex.build(graph)
+        gct = GCTIndex.build(graph)
+        tsd_build = tsd.build_profile.total_seconds
+        gct_build = gct.build_profile.total_seconds
+        tsd_query = _query_seconds(tsd)
+        gct_query = _query_seconds(gct)
+        rows.append([name,
+                     tsd.payload_slots(), gct.payload_slots(),
+                     round(tsd_build, 3), round(gct_build, 3),
+                     round(tsd_query, 4), round(gct_query, 4)])
+        wins["size"] += gct.payload_slots() <= tsd.payload_slots()
+        wins["query"] += gct_query <= tsd_query * 1.5  # noise guard
+        totals["tsd_build"] += tsd_build
+        totals["gct_build"] += gct_build
+
+        # Correctness: both indexes answer identically.
+        a = tsd.top_r(K, 10, collect_contexts=False)
+        b = gct.top_r(K, 10, collect_contexts=False)
+        assert sorted(a.scores, reverse=True) == sorted(b.scores, reverse=True)
+
+    report.add("Table 3 - index comparison", format_table(
+        ["dataset", "TSD slots", "GCT slots", "TSD build(s)", "GCT build(s)",
+         "TSD query(s)", "GCT query(s)"],
+        rows, title=f"Table 3: TSD vs GCT indexing (k={K}, r={R})"))
+
+    # Paper shape: GCT wins on (nearly) every dataset on size and query;
+    # build time is the noisy axis on sub-second builds, so it is
+    # asserted in aggregate with a tolerance instead of per dataset.
+    assert wins["size"] >= 7, wins
+    assert wins["query"] >= 6, wins
+    assert totals["gct_build"] <= totals["tsd_build"] * 1.15, totals
+
+    benchmark(lambda: GCTIndex.build(load_dataset("wiki-vote")))

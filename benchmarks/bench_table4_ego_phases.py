@@ -1,0 +1,46 @@
+"""Table 4 / Exp-3: ego-network extraction and decomposition phases.
+
+Paper shape: GCT's one-shot global triangle listing extracts all
+ego-networks substantially faster than per-vertex extraction (each
+triangle touched 3x instead of 6x), and bitmap peeling beats hash
+peeling on the dense local ego-networks.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.datasets.registry import dataset_names, load_dataset
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_ego_phase_times(benchmark, report):
+    rows = []
+    extraction_wins = 0
+    decomposition_wins = 0
+    for name in dataset_names():
+        graph = load_dataset(name)
+        tsd = TSDIndex.build(graph).build_profile
+        gct = GCTIndex.build(graph).build_profile
+        rows.append([name,
+                     round(tsd.extraction_seconds, 3),
+                     round(gct.extraction_seconds, 3),
+                     round(tsd.decomposition_seconds, 3),
+                     round(gct.decomposition_seconds, 3)])
+        extraction_wins += gct.extraction_seconds <= tsd.extraction_seconds
+        decomposition_wins += (gct.decomposition_seconds
+                               <= tsd.decomposition_seconds * 1.1)
+
+    report.add("Table 4 - ego phase times", format_table(
+        ["dataset", "TSD extract(s)", "GCT extract(s)",
+         "TSD decompose(s)", "GCT decompose(s)"],
+        rows, title="Table 4: ego-network extraction & truss decomposition"))
+
+    # Paper shape: GCT accelerates both phases on almost every dataset.
+    assert extraction_wins >= 7, extraction_wins
+    assert decomposition_wins >= 6, decomposition_wins
+
+    from repro.graph.egonet import iter_ego_edge_lists
+    graph = load_dataset("wiki-vote")
+    benchmark(lambda: sum(1 for _ in iter_ego_edge_lists(graph)))

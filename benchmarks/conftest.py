@@ -1,0 +1,51 @@
+"""Benchmark-suite plumbing.
+
+Every ``bench_*`` test times its core operation through the
+pytest-benchmark fixture *and* renders the corresponding paper table or
+figure as text.  The rendered artefacts are collected here and printed
+in the terminal summary (so ``pytest benchmarks/ --benchmark-only``
+output contains the full reproduction report) as well as written to
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+
+import pytest
+
+_OUT_DIR = Path(__file__).parent / "out"
+
+
+class ReportCollector:
+    """Ordered store of rendered experiment artefacts."""
+
+    def __init__(self) -> None:
+        self.sections: "OrderedDict[str, str]" = OrderedDict()
+
+    def add(self, title: str, text: str) -> None:
+        """Register one rendered table/figure and persist it to disk."""
+        self.sections[title] = text
+        _OUT_DIR.mkdir(exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in title)
+        (_OUT_DIR / f"{safe}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+_collector = ReportCollector()
+
+
+@pytest.fixture(scope="session")
+def report() -> ReportCollector:
+    return _collector
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collector.sections:
+        return
+    terminalreporter.write_sep("=", "paper reproduction report")
+    for title, text in _collector.sections.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

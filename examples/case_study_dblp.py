@@ -1,0 +1,58 @@
+"""The DBLP case study (paper Section 7.3, Exp-10/11/12).
+
+On a collaboration network, the three structural diversity models crown
+three different "most diverse" researchers:
+
+* Truss-Div finds the hub with six dense research groups,
+* Comp-Div falls for sparse, merely-large collaborator clusters,
+* Core-Div finds k-cores but cannot split bridged groups.
+
+Run:  python examples/case_study_dblp.py
+"""
+
+from repro import CompDivModel, CoreDivModel, GCTIndex, TrussDivModel, ego_network
+from repro.datasets import dblp_like_network
+from repro.influence import center_activation_probability
+
+K = 5
+
+
+def describe(graph, model, result) -> None:
+    vertex = result.vertices[0]
+    ego = ego_network(graph, vertex)
+    density = ego.num_edges / ego.num_vertices
+    prob = center_activation_probability(graph, vertex, p=0.05,
+                                         num_seeds=10, runs=500, seed=3)
+    print(f"\n[{result.method}] top-1: {vertex!r}")
+    print(f"  social contexts |SC(v)|: {result.scores[0]}")
+    print(f"  ego-network: {ego.num_vertices} vertices, "
+          f"{ego.num_edges} edges (density {density:.2f})")
+    print(f"  center activation probability: {prob:.3f}")
+    for context in sorted(result.entries[0].contexts, key=len, reverse=True)[:6]:
+        members = sorted(map(str, context))
+        preview = ", ".join(members[:4]) + (", ..." if len(members) > 4 else "")
+        print(f"    context ({len(members)} authors): {preview}")
+
+
+def main() -> None:
+    graph = dblp_like_network(seed=7)
+    print(f"DBLP-like collaboration network: {graph.num_vertices} authors, "
+          f"{graph.num_edges} strong co-authorships")
+
+    index = GCTIndex.build(graph)
+    models = [
+        TrussDivModel(index=index),
+        CompDivModel(),
+        CoreDivModel(),
+    ]
+    for model in models:
+        result = model.top_r(graph, K, 1, collect_contexts=True)
+        describe(graph, model, result)
+
+    print("\nThe Truss-Div winner's groups survive as separate 5-trusses, "
+          "while Comp-Div and Core-Div see them merged through weak "
+          "bridges — the decomposability gap the paper's Figure 16 shows.")
+
+
+if __name__ == "__main__":
+    main()

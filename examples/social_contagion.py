@@ -1,0 +1,62 @@
+"""Social contagion analysis (the paper's Exp-7/Exp-8 workflow).
+
+Demonstrates the motivating application: truss-based structural
+diversity predicts social contagion.  On a Gowalla-like network we
+
+1. build a GCT-index and score every vertex,
+2. pick 50 influence-maximised seeds (RIS sampling),
+3. simulate independent cascades,
+4. show that high-diversity vertices are activated more often, and
+   that Truss-Div's top-r picks get activated more than random picks.
+
+Run:  python examples/social_contagion.py
+"""
+
+from repro import GCTIndex, RandomModel, TrussDivModel
+from repro.datasets import load_dataset
+from repro.influence import (
+    activated_among_targets,
+    activation_rate_by_score_group,
+    ris_seeds,
+)
+
+DATASET = "gowalla"
+K = 4
+P = 0.05          # IC edge probability (paper: 0.01 on full-size graphs)
+RUNS = 300        # Monte-Carlo runs  (paper: 10,000)
+
+
+def main() -> None:
+    graph = load_dataset(DATASET)
+    print(f"{DATASET}: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    index = GCTIndex.build(graph)
+    scores = {v: index.score(v, K) for v in graph.vertices()}
+    diverse = sum(1 for s in scores.values() if s > 0)
+    print(f"{diverse} vertices have at least one social context at k={K}")
+
+    seeds = ris_seeds(graph, 50, P, num_samples=600, seed=1)
+    print(f"\nSeeded {len(seeds)} vertices via RIS influence maximization")
+
+    # --- Exp-7: activation rate per score group ----------------------
+    print("\nActivation rate by structural diversity score group:")
+    for group in activation_rate_by_score_group(
+            graph, scores, seeds, p=P, num_groups=4, runs=RUNS, seed=1):
+        print(f"  scores {group.label:>7} ({group.num_vertices:>4} vertices): "
+              f"{group.activated_rate:.3f}")
+
+    # --- Exp-8: who should a campaign target? ------------------------
+    r = 50
+    truss_picks = TrussDivModel(index=index).select(graph, K, r)
+    random_picks = RandomModel(seed=1).select(graph, K, r)
+    truss_hit = activated_among_targets(graph, truss_picks, seeds, P,
+                                        runs=RUNS, seed=2)
+    random_hit = activated_among_targets(graph, random_picks, seeds, P,
+                                         runs=RUNS, seed=2)
+    print(f"\nOf {r} targeted vertices, expected activations:")
+    print(f"  Truss-Div selection: {truss_hit:.1f}")
+    print(f"  Random selection:    {random_hit:.1f}")
+
+
+if __name__ == "__main__":
+    main()

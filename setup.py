@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs cannot build an editable wheel.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) fall back to the legacy editable path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — Truss-based Structural Diversity Search in Large Graphs.
+
+A from-scratch Python reproduction of Huang, Huang & Xu (ICDE 2021 /
+TKDE): the truss-based structural diversity model, four top-r search
+algorithms (baseline, bound, TSD-index, GCT-index), the Hybrid
+competitor, the Comp-Div/Core-Div/Random baselines, and the influence
+propagation harness used by the effectiveness experiments.
+
+Quickstart
+----------
+>>> from repro import Graph, TSDIndex
+>>> from repro.datasets import figure1_graph
+>>> g = figure1_graph()
+>>> index = TSDIndex.build(g)
+>>> result = index.top_r(k=4, r=1)
+>>> result.vertices, result.scores
+(['v'], [3])
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    VertexNotFoundError,
+    EdgeNotFoundError,
+    InvalidParameterError,
+    IndexFormatError,
+)
+from repro.graph import Graph, GraphBuilder, ego_network, read_edge_list
+from repro.truss import (
+    truss_decomposition,
+    k_truss_subgraph,
+    maximal_connected_k_trusses,
+)
+from repro.cores import core_decomposition, k_core_subgraph
+from repro.core import (
+    structural_diversity,
+    social_contexts,
+    online_search,
+    bound_search,
+    sparsify,
+    TSDIndex,
+    GCTIndex,
+    HybridSearcher,
+    SearchResult,
+    TopEntry,
+)
+from repro.models import (
+    TrussDivModel,
+    CompDivModel,
+    CoreDivModel,
+    RandomModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "InvalidParameterError",
+    "IndexFormatError",
+    "Graph",
+    "GraphBuilder",
+    "ego_network",
+    "read_edge_list",
+    "truss_decomposition",
+    "k_truss_subgraph",
+    "maximal_connected_k_trusses",
+    "core_decomposition",
+    "k_core_subgraph",
+    "structural_diversity",
+    "social_contexts",
+    "online_search",
+    "bound_search",
+    "sparsify",
+    "TSDIndex",
+    "GCTIndex",
+    "HybridSearcher",
+    "SearchResult",
+    "TopEntry",
+    "TrussDivModel",
+    "CompDivModel",
+    "CoreDivModel",
+    "RandomModel",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Experiment harness: reporting and shared runners for benchmarks."""
+
+from repro.bench.reporting import format_table, format_series, speedup
+from repro.bench.runner import (
+    METHOD_NAMES,
+    Measurement,
+    measure,
+    run_method,
+    tsd_index,
+    gct_index,
+    hybrid_searcher,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "speedup",
+    "METHOD_NAMES",
+    "Measurement",
+    "measure",
+    "run_method",
+    "tsd_index",
+    "gct_index",
+    "hybrid_searcher",
+]

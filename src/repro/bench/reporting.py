@@ -1,0 +1,75 @@
+"""Plain-text reporting for the experiment harness.
+
+The paper's results are tables and line plots.  The harness renders
+both as monospace text: :func:`format_table` for table rows and
+:func:`format_series` for ``x y1 y2 ...`` plot data (the series a
+plotting tool would consume directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.5f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width table with a header rule, ready to print."""
+    rendered = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(
+            cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+            for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str,
+                  series: Mapping[str, Sequence[Cell]],
+                  x_values: Sequence[Cell]) -> str:
+    """Plot data as aligned columns: x plus one column per series.
+
+    This is the textual equivalent of one paper figure panel.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[Cell] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def speedup(slow: float, fast: float) -> Optional[float]:
+    """``slow / fast`` guarded against division by ~zero timings."""
+    if fast <= 0:
+        return None
+    return slow / fast

@@ -1,0 +1,277 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror the library's main entry points so the system is
+usable without writing Python:
+
+* ``repro stats GRAPH``                 — Table-1 statistics of a graph file
+* ``repro topr GRAPH -k 4 -r 10``      — top-r structural diversity search
+* ``repro score GRAPH VERTEX -k 4``    — one vertex's score and contexts
+* ``repro build-index GRAPH OUT``      — persist a TSD or GCT index
+* ``repro query-index INDEX -k 4``     — top-r from a persisted index
+* ``repro sparsify GRAPH OUT -k 4``    — write the reduced graph
+* ``repro generate NAME OUT``          — write a registry dataset
+* ``repro communities GRAPH VERTEX``   — k-truss community search
+* ``repro dot GRAPH VERTEX OUT``       — ego-network + contexts as DOT
+
+Graphs are SNAP-style edge lists (``#`` comments, whitespace separated,
+integer ids) unless the path ends in ``.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    read_json_graph,
+    write_json_graph,
+)
+from repro.graph.stats import compute_stats, GraphStats
+from repro.core.online import online_search
+from repro.core.bound import bound_search
+from repro.core.sparsify import sparsify_with_stats
+from repro.core.diversity import diversity_and_contexts
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.community.tcp import TCPIndex
+from repro.datasets.registry import dataset_names, load_dataset
+
+
+def _load_graph(path: str) -> Graph:
+    if path.endswith(".json"):
+        return read_json_graph(path)
+    return read_edge_list(path)
+
+
+def _parse_vertex(raw: str) -> object:
+    """Vertex labels on the CLI: integers when they look like integers."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    stats = compute_stats(graph, name=Path(args.graph).stem,
+                          include_ego_trussness=not args.fast)
+    print(GraphStats.header())
+    print(stats.as_row())
+    return 0
+
+
+def _cmd_topr(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if args.method == "baseline":
+        result = online_search(graph, args.k, args.r)
+    elif args.method == "bound":
+        result = bound_search(graph, args.k, args.r)
+    elif args.method == "tsd":
+        result = TSDIndex.build(graph).top_r(args.k, args.r)
+    else:
+        result = GCTIndex.build(graph).top_r(args.k, args.r)
+    print(result.summary())
+    for entry in result.entries:
+        print(f"  {entry.vertex!r}: score={entry.score}")
+        if args.contexts:
+            for context in entry.contexts:
+                print(f"    context: {sorted(map(repr, context))}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    vertex = _parse_vertex(args.vertex)
+    score, contexts = diversity_and_contexts(graph, vertex, args.k)
+    print(f"score({vertex!r}, k={args.k}) = {score}")
+    for context in contexts:
+        print(f"  context: {sorted(map(repr, context))}")
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if args.type == "tsd":
+        index = TSDIndex.build(graph)
+    else:
+        index = GCTIndex.build(graph)
+    index.save(args.out)
+    profile = index.build_profile
+    print(f"{args.type.upper()}-index of {graph.num_vertices} vertices "
+          f"written to {args.out} "
+          f"({index.payload_slots():,} slots, "
+          f"built in {profile.total_seconds:.3f}s)")
+    return 0
+
+
+def _cmd_query_index(args: argparse.Namespace) -> int:
+    path = args.index
+    try:
+        index = TSDIndex.load(path)
+    except Exception:  # fall through to GCT format
+        index = GCTIndex.load(path)
+    result = index.top_r(args.k, args.r)
+    print(result.summary())
+    for entry in result.entries:
+        print(f"  {entry.vertex!r}: score={entry.score}")
+    return 0
+
+
+def _cmd_sparsify(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    reduced, stats = sparsify_with_stats(graph, args.k)
+    if args.out.endswith(".json"):
+        write_json_graph(reduced, args.out)
+    else:
+        write_edge_list(reduced, args.out)
+    print(f"removed {stats.removed_edges:,}/{stats.original_edges:,} edges "
+          f"({stats.edge_removal_ratio:.1%}) and "
+          f"{stats.removed_vertices:,} isolated vertices; wrote {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name)
+    if args.out.endswith(".json"):
+        write_json_graph(graph, args.out)
+    else:
+        write_edge_list(graph, args.out, header=f"repro dataset {args.name}")
+    print(f"{args.name}: |V|={graph.num_vertices:,} |E|={graph.num_edges:,} "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import summarize_scores
+    from repro.core.gct import GCTIndex
+    graph = _load_graph(args.graph)
+    index = GCTIndex.build(graph)
+    summary = summarize_scores(index.scores_for_all(args.k))
+    print(f"structural diversity at k={args.k} over "
+          f"{summary.count:,} vertices:")
+    print(f"  with >=1 social context: {summary.nonzero:,} "
+          f"({summary.nonzero_fraction:.1%})")
+    print(f"  mean score: {summary.mean:.3f}   max score: {summary.maximum}")
+    print("  score histogram:")
+    for score, count in summary.histogram.items():
+        print(f"    {score:>4}: {count:,}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.viz import ego_network_to_dot, contexts_summary
+    graph = _load_graph(args.graph)
+    vertex = _parse_vertex(args.vertex)
+    dot = ego_network_to_dot(graph, vertex, args.k,
+                             include_center=args.center)
+    Path(args.out).write_text(dot, encoding="utf-8")
+    print(contexts_summary(graph, vertex, args.k))
+    print(f"DOT written to {args.out} (render with: dot -Tpng {args.out})")
+    return 0
+
+
+def _cmd_communities(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    vertex = _parse_vertex(args.vertex)
+    index = TCPIndex.build(graph)
+    communities = index.communities(vertex, args.k)
+    print(f"{len(communities)} k-truss communities contain {vertex!r} at k={args.k}")
+    for i, community in enumerate(communities):
+        print(f"  community {i}: {len(community.vertices)} vertices, "
+              f"{len(community.edges)} edges")
+        if args.verbose:
+            print(f"    {sorted(map(repr, community.vertices))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Truss-based structural diversity search (ICDE 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="Table-1 statistics of a graph file")
+    p.add_argument("graph")
+    p.add_argument("--fast", action="store_true",
+                   help="skip the expensive tau*_ego column")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("topr", help="top-r structural diversity search")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, default=3, help="trussness threshold")
+    p.add_argument("-r", type=int, default=10, help="answer size")
+    p.add_argument("--method", choices=["baseline", "bound", "tsd", "gct"],
+                   default="gct")
+    p.add_argument("--contexts", action="store_true",
+                   help="print the social contexts of each answer vertex")
+    p.set_defaults(func=_cmd_topr)
+
+    p = sub.add_parser("score", help="score and contexts of one vertex")
+    p.add_argument("graph")
+    p.add_argument("vertex")
+    p.add_argument("-k", type=int, default=3)
+    p.set_defaults(func=_cmd_score)
+
+    p = sub.add_parser("build-index", help="build and persist an index")
+    p.add_argument("graph")
+    p.add_argument("out")
+    p.add_argument("--type", choices=["tsd", "gct"], default="gct")
+    p.set_defaults(func=_cmd_build_index)
+
+    p = sub.add_parser("query-index", help="top-r from a persisted index")
+    p.add_argument("index")
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("-r", type=int, default=10)
+    p.set_defaults(func=_cmd_query_index)
+
+    p = sub.add_parser("sparsify", help="write the Property-1 reduced graph")
+    p.add_argument("graph")
+    p.add_argument("out")
+    p.add_argument("-k", type=int, default=3)
+    p.set_defaults(func=_cmd_sparsify)
+
+    p = sub.add_parser("generate", help="write a registry dataset to disk")
+    p.add_argument("name", choices=dataset_names())
+    p.add_argument("out")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("analyze", help="diversity score distribution")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, default=4)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("dot", help="export an ego-network with its "
+                                   "social contexts as Graphviz DOT")
+    p.add_argument("graph")
+    p.add_argument("vertex")
+    p.add_argument("out")
+    p.add_argument("-k", type=int, default=4)
+    p.add_argument("--center", action="store_true",
+                   help="include the ego vertex and its spokes")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("communities", help="k-truss community search")
+    p.add_argument("graph")
+    p.add_argument("vertex")
+    p.add_argument("-k", type=int, default=4)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_communities)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``repro`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

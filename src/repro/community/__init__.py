@@ -1,0 +1,13 @@
+"""k-truss community search indexes (related work, paper Section 8.2)."""
+
+from repro.community.reference import Community, truss_communities
+from repro.community.tcp import TCPIndex
+from repro.community.equitruss import EquiTrussIndex, SupernodeInfo
+
+__all__ = [
+    "Community",
+    "truss_communities",
+    "TCPIndex",
+    "EquiTrussIndex",
+    "SupernodeInfo",
+]

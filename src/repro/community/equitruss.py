@@ -1,0 +1,182 @@
+"""Equi-Truss: the compressed k-truss community index (Section 8.2).
+
+Akbas & Zhao [PVLDB'17] compress the TCP idea into a summary graph:
+
+* a **supernode** is an equivalence class of edges with the same
+  trussness ``k`` that are k-triangle-connected;
+* a **superedge** links two supernodes whose edges share a triangle,
+  weighted by the highest level at which that triangle connects them
+  (the triangle's minimum edge trussness).
+
+A k-truss community is then a connected component of the summary graph
+restricted to supernodes with trussness ≥ k and superedges with weight
+≥ k — community search never touches the original graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex, Edge
+from repro.graph.triangles import iter_triangles
+from repro.truss.decomposition import truss_decomposition
+from repro.community.reference import Community
+from repro.util.dsu import DisjointSet
+
+
+@dataclass(frozen=True)
+class SupernodeInfo:
+    """One equivalence class of the Equi-Truss summary."""
+
+    trussness: int
+    edges: FrozenSet[Edge]
+
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        return frozenset({u for u, _ in self.edges} | {v for _, v in self.edges})
+
+
+class EquiTrussIndex:
+    """The Equi-Truss summary graph of ``graph``.
+
+    Examples
+    --------
+    >>> from repro.graph.graph import Graph
+    >>> g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+    >>> index = EquiTrussIndex.build(g)
+    >>> [sn.trussness for sn in index.supernodes]
+    [3]
+    """
+
+    def __init__(self, supernodes: List[SupernodeInfo],
+                 superedges: Dict[Tuple[int, int], int],
+                 edge_to_supernode: Dict[Edge, int],
+                 graph: Graph) -> None:
+        self.supernodes = supernodes
+        #: ``(i, j) -> weight`` with ``i < j``; weight is the highest
+        #: triangle level connecting the two supernodes.
+        self.superedges = superedges
+        self._edge_to_supernode = edge_to_supernode
+        self._graph = graph
+        self._incident: Dict[int, List[Tuple[int, int]]] = {}
+        for (i, j), weight in superedges.items():
+            self._incident.setdefault(i, []).append((j, weight))
+            self._incident.setdefault(j, []).append((i, weight))
+
+    @classmethod
+    def build(cls, graph: Graph) -> "EquiTrussIndex":
+        """Single descending sweep over trussness levels.
+
+        At level ``k`` the edges of trussness ``k`` enter a union-find;
+        every triangle with minimum trussness ``k`` unions its three
+        edges.  The components at the end of level ``k`` define the
+        supernodes of that level; triangles then translate into
+        superedges between distinct supernodes.
+        """
+        trussness = truss_decomposition(graph)
+        canonical = graph.canonical_edge
+        triangles: List[Tuple[Edge, Edge, Edge, int]] = []
+        for u, v, w in iter_triangles(graph):
+            e1, e2, e3 = canonical(u, v), canonical(u, w), canonical(v, w)
+            k_min = min(trussness[e1], trussness[e2], trussness[e3])
+            triangles.append((e1, e2, e3, k_min))
+
+        by_level_edges: Dict[int, List[Edge]] = {}
+        for edge, tau in trussness.items():
+            by_level_edges.setdefault(tau, []).append(edge)
+        by_level_triangles: Dict[int, List[Tuple[Edge, Edge, Edge]]] = {}
+        for e1, e2, e3, k_min in triangles:
+            by_level_triangles.setdefault(k_min, []).append((e1, e2, e3))
+
+        dsu: DisjointSet = DisjointSet()
+        edge_to_supernode: Dict[Edge, int] = {}
+        supernodes: List[SupernodeInfo] = []
+        levels = sorted(set(by_level_edges) | set(by_level_triangles),
+                        reverse=True)
+        for k in levels:
+            for edge in by_level_edges.get(k, ()):
+                dsu.add(edge)
+            for e1, e2, e3 in by_level_triangles.get(k, ()):
+                dsu.union(e1, e2)
+                dsu.union(e1, e3)
+            # Snapshot: edges of trussness k grouped by their level-k root.
+            grouped: Dict[Edge, List[Edge]] = {}
+            for edge in by_level_edges.get(k, ()):
+                grouped.setdefault(dsu.find(edge), []).append(edge)
+            for members in grouped.values():
+                sid = len(supernodes)
+                supernodes.append(SupernodeInfo(
+                    trussness=k, edges=frozenset(members)))
+                for edge in members:
+                    edge_to_supernode[edge] = sid
+
+        superedges: Dict[Tuple[int, int], int] = {}
+        for e1, e2, e3, k_min in triangles:
+            sids = {edge_to_supernode[e] for e in (e1, e2, e3)}
+            sid_list = sorted(sids)
+            for a in range(len(sid_list)):
+                for b in range(a + 1, len(sid_list)):
+                    key = (sid_list[a], sid_list[b])
+                    if superedges.get(key, 0) < k_min:
+                        superedges[key] = k_min
+        return cls(supernodes, superedges, edge_to_supernode, graph)
+
+    @property
+    def num_supernodes(self) -> int:
+        return len(self.supernodes)
+
+    @property
+    def num_superedges(self) -> int:
+        return len(self.superedges)
+
+    def supernode_of(self, u: Vertex, v: Vertex) -> int:
+        """Supernode id of the edge ``(u, v)``."""
+        return self._edge_to_supernode[self._graph.canonical_edge(u, v)]
+
+    def communities(self, query: Vertex, k: int) -> List[Community]:
+        """All k-truss communities containing ``query``, from the summary.
+
+        BFS over supernodes with trussness ≥ k through superedges of
+        weight ≥ k, seeded by the supernodes of the query's incident
+        edges.
+        """
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        canonical = self._graph.canonical_edge
+        seeds: List[int] = []
+        seen_seed: Set[int] = set()
+        for u in sorted(self._graph.neighbors(query),
+                        key=self._graph.vertex_index):
+            edge = canonical(query, u)
+            sid = self._edge_to_supernode.get(edge)
+            if sid is None or self.supernodes[sid].trussness < k:
+                continue
+            if sid not in seen_seed:
+                seen_seed.add(sid)
+                seeds.append(sid)
+        visited: Set[int] = set()
+        communities: List[Community] = []
+        for seed in seeds:
+            if seed in visited:
+                continue
+            component: List[int] = []
+            queue = deque([seed])
+            visited.add(seed)
+            while queue:
+                sid = queue.popleft()
+                component.append(sid)
+                for other, weight in self._incident.get(sid, ()):
+                    if (weight >= k and other not in visited
+                            and self.supernodes[other].trussness >= k):
+                        visited.add(other)
+                        queue.append(other)
+            edges: Set[Edge] = set()
+            for sid in component:
+                edges.update(self.supernodes[sid].edges)
+            vertices = {a for a, _ in edges} | {b for _, b in edges}
+            communities.append(Community(
+                k=k, vertices=frozenset(vertices), edges=frozenset(edges)))
+        return communities

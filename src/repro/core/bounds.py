@@ -1,0 +1,86 @@
+"""Upper bounds on ``score(v)`` used for pruning (Lemma 2, Section 5.2).
+
+Two bounds appear in the paper:
+
+* **Lemma 2** (used by Algorithm 4): the smallest maximal connected
+  ``k``-truss is a ``k``-clique, so an ego-network with ``d(v)`` vertices
+  and ``m_v`` edges holds at most
+  ``min(⌊d(v)/k⌋, ⌊2 m_v / (k (k-1))⌋)`` of them.
+* **TSD bound** (Section 5.2): in the TSD forest, each context
+  contributes at least ``k - 1`` edges of weight ≥ ``k``, so
+  ``score(v) ≤ ⌊|{e ∈ TSD_v : w(e) ≥ k}| / (k - 1)⌋``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.graph.triangles import local_triangle_counts
+
+
+def clique_upper_bound(degree: int, ego_edges: int, k: int) -> int:
+    """Lemma 2: ``min(⌊d(v)/k⌋, ⌊2 m_v / (k (k-1))⌋)``."""
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    by_vertices = degree // k
+    by_edges = (2 * ego_edges) // (k * (k - 1))
+    return min(by_vertices, by_edges)
+
+
+def clique_upper_bounds(graph: Graph, k: int) -> Dict[Vertex, int]:
+    """Lemma 2 bound for every vertex in one triangle pass.
+
+    ``m_v`` equals the number of triangles through ``v``, so one global
+    triangle listing prices every vertex (Algorithm 4 lines 2–3).
+    """
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    ego_edges = local_triangle_counts(graph)
+    return {
+        v: clique_upper_bound(graph.degree(v), ego_edges[v], k)
+        for v in graph.vertices()
+    }
+
+
+def tsd_upper_bound(sorted_weights_desc: Sequence[int], k: int) -> int:
+    """TSD bound from a vertex's forest weights, sorted descending.
+
+    ``⌊ |{w ≥ k}| / (k-1) ⌋`` — each maximal connected ``k``-truss spans
+    at least ``k`` vertices, hence at least ``k - 1`` forest edges with
+    weight ≥ ``k``.
+    """
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    count = count_at_least(sorted_weights_desc, k)
+    return count // (k - 1)
+
+
+def count_at_least(sorted_weights_desc: Sequence[int], k: int) -> int:
+    """How many weights in a descending-sorted sequence are ≥ ``k``.
+
+    Binary search over the negated view; O(log n) per query, which keeps
+    TSD/GCT query costs within the paper's bounds.
+    """
+    # bisect needs ascending order: search -k in the negated sequence.
+    negated = _NegatedView(sorted_weights_desc)
+    return bisect_left(negated, -k + 1)
+
+
+class _NegatedView(Sequence):
+    """Read-only negated view of a descending sequence (ascending order)."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Sequence[int]) -> None:
+        self._data = data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):  # pragma: no cover - bisect never slices
+            return [-x for x in self._data[i]]
+        return -self._data[i]

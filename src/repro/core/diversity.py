@@ -1,0 +1,147 @@
+"""Truss-based structural diversity of a vertex (paper Algorithm 2).
+
+``score(v)`` is the number of connected components of the ``k``-truss of
+the ego-network ``G_N(v)`` (Definitions 2–3).  Algorithm 2:
+
+1. extract the ego-network (triangle listing through ``v``);
+2. truss-decompose it (Algorithm 1);
+3. drop edges with trussness `< k`;
+4. count the connected components of what remains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex, Edge
+from repro.graph.egonet import ego_network
+from repro.graph.traversal import components_of_edges, count_components_of_edges
+from repro.truss.decomposition import truss_decomposition
+
+
+def _check_k(k: int) -> None:
+    if k < 2:
+        raise InvalidParameterError(f"trussness threshold k must be >= 2, got {k}")
+
+
+def ego_truss_weights(graph: Graph, v: Vertex,
+                      ego: Optional[Graph] = None) -> Dict[Edge, int]:
+    """Trussness of every ego-network edge: ``τ_{G_N(v)}(e)``.
+
+    This weighted edge set is the raw material of both the score
+    computation and TSD-index construction (the weights ``w(e)`` of
+    Algorithm 5).
+    """
+    if ego is None:
+        ego = ego_network(graph, v)
+    return truss_decomposition(ego)
+
+
+def social_contexts(graph: Graph, v: Vertex, k: int,
+                    ego: Optional[Graph] = None) -> List[Set[Vertex]]:
+    """The social contexts ``SC(v)``: maximal connected k-trusses of ``G_N(v)``.
+
+    Examples
+    --------
+    On the paper's running example (Figure 1), ``social_contexts(G, "v", 4)``
+    returns the three contexts ``{x1..x4}``, ``{y1..y4}``, ``{r1..r6}``.
+    """
+    _check_k(k)
+    weights = ego_truss_weights(graph, v, ego)
+    return components_of_edges(
+        edge for edge, tau in weights.items() if tau >= k)
+
+
+def structural_diversity(graph: Graph, v: Vertex, k: int,
+                         ego: Optional[Graph] = None) -> int:
+    """``score(v) = |SC(v)|`` (Algorithm 2, count-only fast path)."""
+    _check_k(k)
+    weights = ego_truss_weights(graph, v, ego)
+    return count_components_of_edges(
+        edge for edge, tau in weights.items() if tau >= k)
+
+
+def diversity_and_contexts(graph: Graph, v: Vertex, k: int,
+                           ego: Optional[Graph] = None
+                           ) -> Tuple[int, List[Set[Vertex]]]:
+    """Score and contexts in one ego decomposition."""
+    contexts = social_contexts(graph, v, k, ego)
+    return len(contexts), contexts
+
+
+def all_structural_diversities(graph: Graph, k: int) -> Dict[Vertex, int]:
+    """``score(v)`` for every vertex, by repeated Algorithm 2 calls.
+
+    This is the expensive inner loop of the baseline (Algorithm 3);
+    index-based approaches exist precisely to avoid it.
+    """
+    _check_k(k)
+    return {v: structural_diversity(graph, v, k) for v in graph.vertices()}
+
+
+def diversity_profile(graph: Graph, v: Vertex,
+                      ego: Optional[Graph] = None) -> Dict[int, int]:
+    """``score(v)`` for *every* threshold ``k`` at once.
+
+    Processes ego edges in decreasing trussness with a union-find:
+    at each threshold the component count over edges with ``τ ≥ k`` is
+    recorded.  Thresholds above the maximum ego trussness score 0 and
+    are omitted.  Used by the Hybrid method's precomputation (Exp-4).
+    """
+    weights = ego_truss_weights(graph, v, ego)
+    return profile_from_weights(weights.items())
+
+
+def profile_from_weights(weighted_edges) -> Dict[int, int]:
+    """Component-count profile from ``(edge, weight)`` pairs.
+
+    Shared by :func:`diversity_profile` (raw ego edges) and the
+    TSD-index (forest edges): both edge sets induce identical component
+    counts at every threshold, which is the forest's defining property.
+    """
+    by_weight: Dict[int, List[Edge]] = {}
+    for edge, weight in weighted_edges:
+        by_weight.setdefault(weight, []).append(edge)
+    if not by_weight:
+        return {}
+    parent: Dict[Vertex, Vertex] = {}
+
+    def find(x: Vertex) -> Vertex:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    profile: Dict[int, int] = {}
+    components = 0
+    # Sweep thresholds downward; edges accumulate monotonically.
+    for k in sorted(by_weight, reverse=True):
+        for u, w in by_weight[k]:
+            if u not in parent:
+                parent[u] = u
+                components += 1
+            if w not in parent:
+                parent[w] = w
+                components += 1
+            ru, rw = find(u), find(w)
+            if ru != rw:
+                parent[ru] = rw
+                components -= 1
+        profile[k] = components
+    # Fill gaps: score at threshold k equals score at the next lower
+    # recorded weight boundary's upper side (component counts only
+    # change where edge weights exist).
+    thresholds = sorted(profile)
+    filled: Dict[int, int] = {}
+    max_k = thresholds[-1]
+    current = 0
+    pointer = len(thresholds) - 1
+    for k in range(max_k, 1, -1):
+        if pointer >= 0 and thresholds[pointer] == k:
+            current = profile[k]
+            pointer -= 1
+        filled[k] = current
+    return filled

@@ -1,0 +1,109 @@
+"""Dynamic TSD-index maintenance (the Section 5.3 "Remarks" extension).
+
+The paper notes that the TSD-index "can support efficient updates in
+dynamic graphs" and leaves the development as promising future work.
+This module implements it: on an edge update, only the ego-networks
+that actually changed are re-decomposed.
+
+Locality argument (why the affected set is exactly right): inserting or
+deleting edge ``(u, v)`` changes
+
+* ``G_N(w)`` for every common neighbour ``w ∈ N(u) ∩ N(v)`` — the edge
+  ``(u, v)`` appears/disappears inside those ego-networks;
+* ``G_N(u)`` — vertex ``v`` (dis)appears together with its edges to
+  ``N(u) ∩ N(v)``; symmetrically ``G_N(v)``.
+
+No other ego-network gains or loses a vertex or an edge, so rebuilding
+the forests of ``{u, v} ∪ (N(u) ∩ N(v))`` (common neighbours taken
+while the edge is present) restores exact index state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, Vertex
+from repro.graph.egonet import ego_network
+from repro.truss.decomposition import truss_decomposition
+from repro.core.tsd import TSDIndex, maximum_spanning_forest
+from repro.core.results import SearchResult
+
+
+class DynamicTSDIndex:
+    """A graph plus a TSD-index kept consistent under edge updates.
+
+    The wrapped graph is a private copy; all mutation goes through
+    :meth:`insert_edge` / :meth:`delete_edge`.
+
+    Examples
+    --------
+    >>> from repro.graph.graph import Graph
+    >>> dyn = DynamicTSDIndex(Graph(edges=[(0, 1), (1, 2), (0, 2)]))
+    >>> dyn.insert_edge(2, 3)
+    >>> dyn.score(1, 2)
+    1
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph.copy()
+        self._index = TSDIndex.build(self._graph)
+        self.rebuilt_vertices = 0  # cumulative maintenance-work counter
+
+    @property
+    def graph(self) -> Graph:
+        """Read-only view of the maintained graph (do not mutate)."""
+        return self._graph
+
+    @property
+    def index(self) -> TSDIndex:
+        """The maintained TSD-index (always consistent with the graph)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert ``(u, v)`` and repair every affected ego forest."""
+        if self._graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) already present")
+        self._graph.add_edge(u, v)
+        affected = self._affected(u, v)
+        self._rebuild(affected)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete ``(u, v)`` and repair every affected ego forest."""
+        # Common neighbours must be computed while the edge's triangles
+        # still exist.
+        affected = self._affected(u, v)
+        self._graph.remove_edge(u, v)
+        self._rebuild(affected)
+
+    def _affected(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        common = (self._graph.common_neighbors(u, v)
+                  if u in self._graph and v in self._graph else set())
+        return {u, v} | common
+
+    def _rebuild(self, vertices: Set[Vertex]) -> None:
+        for w in vertices:
+            if w not in self._graph:
+                self._index.drop_vertex(w)
+                continue
+            ego = ego_network(self._graph, w)
+            weights = truss_decomposition(ego)
+            forest = maximum_spanning_forest(ego.vertices(), weights.items())
+            self._index.replace_forest(w, forest)
+            self.rebuilt_vertices += 1
+
+    # ------------------------------------------------------------------
+    # Query pass-through
+    # ------------------------------------------------------------------
+    def score(self, v: Vertex, k: int) -> int:
+        """Current ``score(v)`` (always consistent with the graph)."""
+        return self._index.score(v, k)
+
+    def contexts(self, v: Vertex, k: int) -> List[Set[Vertex]]:
+        """Current social contexts of ``v``."""
+        return self._index.contexts(v, k)
+
+    def top_r(self, k: int, r: int, collect_contexts: bool = True) -> SearchResult:
+        """Top-r search on the maintained index."""
+        return self._index.top_r(k, r, collect_contexts=collect_contexts)

@@ -1,0 +1,89 @@
+"""Hybrid search: precomputed answers + online context extraction (Exp-4).
+
+The paper's most competitive alternative to GCT keeps, for every
+possible ``k``, the vertices ranked by structural diversity — so a
+query's answer *vertices* are free — and then computes the social
+contexts online with Algorithm 2.  Context computation is the dominant
+cost, which is why GCT (contexts straight from the index) overtakes
+Hybrid as ``r`` grows (paper Figure 11).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.diversity import diversity_profile, social_contexts
+from repro.core.results import SearchResult, TopEntry
+from repro.core.tsd import TSDIndex
+
+
+class HybridSearcher:
+    """Precomputed per-``k`` rankings with online context extraction.
+
+    Build with :meth:`precompute`, then answer queries with
+    :meth:`top_r`.  The precomputation derives every vertex's score for
+    every ``k`` from a TSD-index score profile (building one internally
+    when not supplied).
+    """
+
+    def __init__(self, graph: Graph,
+                 rankings: Dict[int, List[Tuple[Vertex, int]]]) -> None:
+        self._graph = graph
+        self._rankings = rankings
+
+    @classmethod
+    def precompute(cls, graph: Graph,
+                   index: Optional[TSDIndex] = None) -> "HybridSearcher":
+        """Rank all vertices for every ``k`` with a non-empty answer."""
+        if index is None:
+            index = TSDIndex.build(graph)
+        profiles: Dict[Vertex, Dict[int, int]] = {
+            v: index.score_profile(v) for v in index.vertices
+        }
+        max_k = max((max(p) for p in profiles.values() if p), default=1)
+        rankings: Dict[int, List[Tuple[Vertex, int]]] = {}
+        for k in range(2, max_k + 1):
+            scored = [(v, profiles[v].get(k, 0)) for v in index.vertices]
+            # Stable sort keeps insertion order among ties, matching the
+            # other methods' deterministic tie handling.
+            scored.sort(key=lambda pair: -pair[1])
+            rankings[k] = scored
+        return cls(graph, rankings)
+
+    @property
+    def max_k(self) -> int:
+        """Largest ``k`` with any non-zero score (queries above return zeros)."""
+        return max(self._rankings, default=1)
+
+    def top_r(self, k: int, r: int, collect_contexts: bool = True) -> SearchResult:
+        """Answer a query from the tables; contexts via Algorithm 2.
+
+        ``search_space`` counts the online context computations — ``r``
+        by construction, the cost the paper's Figure 11 sweeps.
+        """
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+        start = time.perf_counter()
+        ranking = self._rankings.get(k)
+        if ranking is None:
+            # k beyond every ego's trussness: all scores are zero.
+            ranking = [(v, 0) for v in self._graph.vertices()]
+        answer = ranking[:min(r, len(ranking))]
+        entries = []
+        for vertex, score in answer:
+            if collect_contexts and score > 0:
+                contexts = tuple(frozenset(c)
+                                 for c in social_contexts(self._graph, vertex, k))
+            else:
+                contexts = tuple(frozenset() for _ in range(score))
+            entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
+        return SearchResult(
+            method="hybrid", k=k, r=r, entries=entries,
+            search_space=len(answer),
+            elapsed_seconds=time.perf_counter() - start,
+        )

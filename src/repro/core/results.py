@@ -1,0 +1,141 @@
+"""Result containers shared by every top-r search method.
+
+The problem statement (paper Section 2.3) asks for the ``r`` vertices
+with the highest truss-based structural diversity *and their social
+contexts*.  :class:`SearchResult` carries exactly that, plus the two
+efficiency metrics the paper's tables report: wall-clock time and
+*search space* (the number of vertices whose structural diversity was
+actually computed — Table 2's pruning metric).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Vertex
+
+
+@dataclass(frozen=True)
+class TopEntry:
+    """One answer vertex with its score and social contexts."""
+
+    vertex: Vertex
+    score: int
+    contexts: Tuple[frozenset, ...]
+
+    def __post_init__(self) -> None:
+        if self.score != len(self.contexts):
+            raise InvalidParameterError(
+                f"score {self.score} does not match {len(self.contexts)} contexts")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a top-r structural diversity search.
+
+    Attributes
+    ----------
+    method:
+        Human-readable method name (``baseline``, ``bound``, ``TSD``,
+        ``GCT``, ``hybrid``).
+    k, r:
+        Query parameters.
+    entries:
+        Answer vertices sorted by descending score.
+    search_space:
+        Number of vertices whose diversity was computed (Table 2).
+    elapsed_seconds:
+        Wall-clock time of the search, when the caller measured it.
+    """
+
+    method: str
+    k: int
+    r: int
+    entries: List[TopEntry] = field(default_factory=list)
+    search_space: int = 0
+    elapsed_seconds: Optional[float] = None
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """Answer vertices in rank order."""
+        return [entry.vertex for entry in self.entries]
+
+    @property
+    def scores(self) -> List[int]:
+        """Answer scores in rank order (descending)."""
+        return [entry.score for entry in self.entries]
+
+    def contexts_of(self, vertex: Vertex) -> Tuple[frozenset, ...]:
+        """Social contexts of an answer vertex."""
+        for entry in self.entries:
+            if entry.vertex == vertex:
+                return entry.contexts
+        raise KeyError(vertex)
+
+    def summary(self) -> str:
+        """One-line human summary for harness output."""
+        time_part = ("" if self.elapsed_seconds is None
+                     else f" time={self.elapsed_seconds:.4f}s")
+        top = ", ".join(f"{e.vertex!r}:{e.score}" for e in self.entries[:5])
+        more = "" if len(self.entries) <= 5 else f" (+{len(self.entries) - 5} more)"
+        return (f"[{self.method}] k={self.k} r={self.r} "
+                f"space={self.search_space}{time_part} top=[{top}]{more}")
+
+
+class TopRCollector:
+    """Bounded answer set keeping the ``r`` highest-scoring vertices.
+
+    Implements the answer-set maintenance of Algorithms 3 and 4 with a
+    min-heap: a candidate replaces the current minimum only when its
+    score is strictly greater, matching the paper's line
+    ``score(v) > min_{v'∈S} score(v')``.
+    """
+
+    __slots__ = ("_r", "_heap", "_tick")
+
+    def __init__(self, r: int) -> None:
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+        self._r = r
+        self._heap: List[Tuple[int, int, Vertex]] = []
+        self._tick = 0  # insertion tie-break so vertices never compare
+
+    def offer(self, vertex: Vertex, score: int) -> bool:
+        """Consider ``(vertex, score)``; return ``True`` if it entered the set."""
+        self._tick += 1
+        item = (score, self._tick, vertex)
+        if len(self._heap) < self._r:
+            heapq.heappush(self._heap, item)
+            return True
+        if score > self._heap[0][0]:
+            heapq.heapreplace(self._heap, item)
+            return True
+        return False
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the answer set already holds ``r`` vertices."""
+        return len(self._heap) >= self._r
+
+    @property
+    def threshold(self) -> int:
+        """Current minimum score in the answer set (early-stop bound).
+
+        Meaningful only when :attr:`is_full`; raises otherwise so callers
+        cannot silently prune against a half-filled set.
+        """
+        if not self.is_full:
+            raise InvalidParameterError("threshold undefined before the set is full")
+        return self._heap[0][0]
+
+    def ranked(self) -> List[Tuple[Vertex, int]]:
+        """``(vertex, score)`` pairs sorted by descending score.
+
+        Ties keep insertion order (earlier offers first), which makes
+        every search method deterministic for a fixed iteration order.
+        """
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [(vertex, score) for score, _, vertex in ordered]

@@ -1,0 +1,80 @@
+"""Graph sparsification (paper Section 4.1, Property 1).
+
+Property 1: an edge ``e`` with global trussness ``τ_G(e) < k + 1`` can
+never appear in a maximal connected ``k``-truss of *any* ego-network —
+adding the ego back to such a truss would raise every edge's support by
+one and force ``τ_G(e) ≥ k + 1``, a contradiction.
+
+Sparsification therefore truss-decomposes ``G`` once, deletes every edge
+with ``τ_G(e) ≤ k``, and drops the vertices this isolates.  The answer
+set is unaffected, the graph shrinks (45% of edges on average at k=5 in
+the paper's Figure 3 statistics), and isolated vertices are never even
+considered by the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Edge
+from repro.truss.decomposition import truss_decomposition
+
+
+@dataclass(frozen=True)
+class SparsifyStats:
+    """Bookkeeping for the sparsification pass (Figure 3 discussion)."""
+
+    original_vertices: int
+    original_edges: int
+    remaining_vertices: int
+    remaining_edges: int
+
+    @property
+    def removed_edges(self) -> int:
+        return self.original_edges - self.remaining_edges
+
+    @property
+    def removed_vertices(self) -> int:
+        return self.original_vertices - self.remaining_vertices
+
+    @property
+    def edge_removal_ratio(self) -> float:
+        """Fraction of edges pruned (paper reports ≈0.45 at k=5)."""
+        if self.original_edges == 0:
+            return 0.0
+        return self.removed_edges / self.original_edges
+
+
+def sparsify(graph: Graph, k: int,
+             edge_trussness: Optional[Dict[Edge, int]] = None) -> Graph:
+    """The reduced graph ``G'``: edges with ``τ_G(e) ≥ k + 1`` only.
+
+    Returns a new graph; the input is never mutated.  Vertices isolated
+    by the edge removal are dropped entirely.
+    """
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    if edge_trussness is None:
+        edge_trussness = truss_decomposition(graph)
+    reduced = graph.copy()
+    for edge, tau in edge_trussness.items():
+        if tau <= k:
+            reduced.discard_edge(*edge)
+    reduced.remove_isolated_vertices()
+    return reduced
+
+
+def sparsify_with_stats(graph: Graph, k: int,
+                        edge_trussness: Optional[Dict[Edge, int]] = None
+                        ) -> "tuple[Graph, SparsifyStats]":
+    """:func:`sparsify` plus before/after statistics."""
+    reduced = sparsify(graph, k, edge_trussness)
+    stats = SparsifyStats(
+        original_vertices=graph.num_vertices,
+        original_edges=graph.num_edges,
+        remaining_vertices=reduced.num_vertices,
+        remaining_edges=reduced.num_edges,
+    )
+    return reduced, stats

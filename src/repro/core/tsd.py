@@ -1,0 +1,325 @@
+"""TSD-index: the truss-based structural diversity index (paper Section 5).
+
+For each vertex ``v`` the TSD-index stores a *maximum spanning forest*
+``TSD_v`` of the ego-network ``G_N(v)`` weighted by ego edge trussness
+(Algorithm 5).  Observations 2–3 justify the structure: a tree suffices
+to represent membership of a maximal connected k-truss, and taking the
+*maximum*-weight forest loses no structural diversity information
+(bottleneck property of maximum spanning forests).
+
+Queries (Algorithm 6) restrict the forest to edges of weight ≥ ``k`` and
+count/collect connected components — ``O(|N(v)|)`` per vertex, giving
+the ``O(m)`` total search cost of Theorem 3.  The index is parameter
+free: one build answers any ``(k, r)``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import IndexFormatError, InvalidParameterError
+from repro.graph.graph import Graph, Vertex, Edge
+from repro.graph.egonet import ego_network
+from repro.truss.decomposition import truss_decomposition
+from repro.core.bounds import tsd_upper_bound, count_at_least
+from repro.core.diversity import profile_from_weights
+from repro.core.results import SearchResult, TopEntry, TopRCollector
+from repro.util.dsu import DisjointSet
+from repro.util.timing import StopWatch
+
+# One forest edge: (u, w, weight); per-vertex lists are weight-descending.
+ForestEdge = Tuple[Vertex, Vertex, int]
+
+_PERSIST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BuildProfile:
+    """Phase timings of an index build (Table 4 columns)."""
+
+    extraction_seconds: float
+    decomposition_seconds: float
+    assembly_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.extraction_seconds + self.decomposition_seconds
+                + self.assembly_seconds)
+
+
+def maximum_spanning_forest(vertices: Iterable[Vertex],
+                            weighted_edges: Iterable[Tuple[Edge, int]]
+                            ) -> List[ForestEdge]:
+    """Kruskal's maximum spanning forest via weight buckets (Algorithm 5).
+
+    Edge weights are small integers (trussness values), so bucketing by
+    weight replaces the sort and keeps construction ``O(m_v)``.  Returns
+    forest edges in descending weight order.
+    """
+    buckets: Dict[int, List[Edge]] = {}
+    for edge, weight in weighted_edges:
+        buckets.setdefault(weight, []).append(edge)
+    dsu: DisjointSet = DisjointSet(vertices)
+    forest: List[ForestEdge] = []
+    for weight in sorted(buckets, reverse=True):
+        for u, w in buckets[weight]:
+            if dsu.union(u, w):
+                forest.append((u, w, weight))
+    return forest
+
+
+class TSDIndex:
+    """The TSD-index of a graph: one maximum spanning forest per vertex.
+
+    Build once with :meth:`build`; answer any ``(k, r)`` query with
+    :meth:`top_r`, or per-vertex questions with :meth:`score` /
+    :meth:`contexts` / :meth:`upper_bound`.
+
+    Examples
+    --------
+    >>> from repro.datasets.paper import figure1_graph
+    >>> index = TSDIndex.build(figure1_graph())
+    >>> index.score("v", 4)
+    3
+    """
+
+    def __init__(self, forests: Dict[Vertex, List[ForestEdge]],
+                 vertex_order: Sequence[Vertex],
+                 build_profile: Optional[BuildProfile] = None) -> None:
+        self._forests = forests
+        self._vertices: List[Vertex] = list(vertex_order)
+        self._weights: Dict[Vertex, List[int]] = {
+            v: [w for _, _, w in edges] for v, edges in forests.items()
+        }
+        self.build_profile = build_profile
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 5)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: Graph) -> "TSDIndex":
+        """Construct the TSD-index with per-vertex ego decomposition.
+
+        Per vertex: extract ``G_N(v)`` (triangle listing), truss-decompose
+        it (Algorithm 1), then build the maximum spanning forest of the
+        trussness-weighted ego-network.  Phase timings are recorded in
+        :attr:`build_profile` for the Table 4 comparison.
+        """
+        watch = StopWatch()
+        forests: Dict[Vertex, List[ForestEdge]] = {}
+        for v in graph.vertices():
+            with watch.phase("extraction"):
+                ego = ego_network(graph, v)
+            with watch.phase("decomposition"):
+                weights = truss_decomposition(ego)
+            with watch.phase("assembly"):
+                forests[v] = maximum_spanning_forest(ego.vertices(),
+                                                     weights.items())
+        profile = BuildProfile(
+            extraction_seconds=watch.seconds("extraction"),
+            decomposition_seconds=watch.seconds("decomposition"),
+            assembly_seconds=watch.seconds("assembly"),
+        )
+        return cls(forests, list(graph.vertices()), profile)
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithm 6 and the Section 5.2 bound)
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._forests
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """Indexed vertices, in the graph's insertion order."""
+        return list(self._vertices)
+
+    def forest(self, v: Vertex) -> List[ForestEdge]:
+        """The stored forest ``TSD_v`` (weight-descending edge list)."""
+        return list(self._forests[v])
+
+    def score(self, v: Vertex, k: int) -> int:
+        """``score(v)``: components of forest edges with weight ≥ k."""
+        self._check_k(k)
+        dsu: DisjointSet = DisjointSet()
+        count = 0
+        for u, w, weight in self._forests[v]:
+            if weight < k:
+                break  # descending order: nothing further qualifies
+            if dsu.add(u):
+                count += 1
+            if dsu.add(w):
+                count += 1
+            if dsu.union(u, w):
+                count -= 1
+        return count
+
+    def contexts(self, v: Vertex, k: int) -> List[Set[Vertex]]:
+        """The social contexts ``SC(v)`` recovered from the forest."""
+        self._check_k(k)
+        dsu: DisjointSet = DisjointSet()
+        for u, w, weight in self._forests[v]:
+            if weight < k:
+                break
+            dsu.union(u, w)
+        return dsu.components()
+
+    def upper_bound(self, v: Vertex, k: int) -> int:
+        """The Section 5.2 pruning bound ``⌊|{w(e) ≥ k}| / (k-1)⌋``."""
+        self._check_k(k)
+        return tsd_upper_bound(self._weights[v], k)
+
+    def scores_for_all(self, k: int) -> Dict[Vertex, int]:
+        """``score(v)`` for every indexed vertex at one threshold.
+
+        Batch counterpart of :meth:`score`; used by the effectiveness
+        experiments which need the full score map (Exp-7 grouping).
+        """
+        self._check_k(k)
+        return {v: self.score(v, k) for v in self._vertices}
+
+    def score_profile(self, v: Vertex) -> Dict[int, int]:
+        """``score(v)`` for every ``k`` with a non-zero answer.
+
+        The forest preserves component counts at every threshold, so the
+        profile from ``n_v - 1`` forest edges equals the profile from all
+        ``m_v`` ego edges.  Absent keys mean score 0.
+        """
+        edges = self._forests[v]
+        return profile_from_weights(
+            ((u, w), weight) for u, w, weight in edges)
+
+    def top_r(self, k: int, r: int, collect_contexts: bool = True) -> SearchResult:
+        """TSD-index-based top-r search (Section 5.2).
+
+        Vertices are visited in decreasing order of the TSD upper bound;
+        the scan stops as soon as the bound cannot beat the answer set's
+        minimum.  ``search_space`` counts actual score computations.
+        """
+        self._check_k(k)
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+        start = time.perf_counter()
+        r = min(r, max(len(self._vertices), 1))
+        bounds = {v: tsd_upper_bound(self._weights[v], k) for v in self._vertices}
+        position = {v: i for i, v in enumerate(self._vertices)}
+        order = sorted(self._vertices, key=lambda v: (-bounds[v], position[v]))
+        collector = TopRCollector(r)
+        search_space = 0
+        for v in order:
+            if collector.is_full and bounds[v] <= collector.threshold:
+                break
+            if bounds[v] == 0:
+                # A zero bound forces a zero score — no forest scan
+                # needed, and it does not count as explored space.
+                collector.offer(v, 0)
+                continue
+            collector.offer(v, self.score(v, k))
+            search_space += 1
+        entries = []
+        for vertex, score in collector.ranked():
+            contexts = (tuple(frozenset(c) for c in self.contexts(vertex, k))
+                        if collect_contexts
+                        else tuple(frozenset() for _ in range(score)))
+            entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
+        self._pad_zero_entries(entries, r)
+        return SearchResult(
+            method="TSD", k=k, r=r, entries=entries,
+            search_space=search_space,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _pad_zero_entries(self, entries: List[TopEntry], r: int) -> None:
+        """Fill the answer set to ``r`` with zero-score vertices.
+
+        The bound-ordered scan can terminate before offering every
+        vertex; any vertex it never offered has score bounded by the
+        answer threshold, and when entries are missing the threshold is
+        necessarily 0.
+        """
+        if len(entries) >= r:
+            return
+        answered = {entry.vertex for entry in entries}
+        for v in self._vertices:
+            if len(entries) >= r:
+                break
+            if v not in answered:
+                entries.append(TopEntry(vertex=v, score=0, contexts=()))
+
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+
+    # ------------------------------------------------------------------
+    # Mutation hooks for dynamic maintenance (Section 5.3 remarks)
+    # ------------------------------------------------------------------
+    def replace_forest(self, v: Vertex, edges: Iterable[ForestEdge]) -> None:
+        """Install a freshly rebuilt forest for ``v`` (registering ``v``
+        if it is new).  Used by incremental maintenance after an edge
+        update invalidated the vertex's ego-network."""
+        ordered = sorted(edges, key=lambda item: -item[2])
+        if v not in self._forests:
+            self._vertices.append(v)
+        self._forests[v] = ordered
+        self._weights[v] = [w for _, _, w in ordered]
+
+    def drop_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` from the index (vertex deleted from the graph)."""
+        if v in self._forests:
+            del self._forests[v]
+            del self._weights[v]
+            self._vertices.remove(v)
+
+    # ------------------------------------------------------------------
+    # Size accounting and persistence (Table 3 columns)
+    # ------------------------------------------------------------------
+    @property
+    def num_forest_edges(self) -> int:
+        """Total stored forest edges — ``O(Σ n_v) ⊆ O(m)`` by Theorem 3."""
+        return sum(len(edges) for edges in self._forests.values())
+
+    def payload_slots(self) -> int:
+        """Logical storage slots: 3 per forest edge plus 1 per vertex key."""
+        return 3 * self.num_forest_edges + len(self._forests)
+
+    def approx_size_bytes(self, bytes_per_slot: int = 8) -> int:
+        """Size estimate used for the Table 3 index-size comparison."""
+        return self.payload_slots() * bytes_per_slot
+
+    def save(self, path) -> None:
+        """Persist as JSON (labels must be JSON-encodable)."""
+        vertices = self._vertices
+        position = {v: i for i, v in enumerate(vertices)}
+        payload = {
+            "format": "repro-tsd-index",
+            "version": _PERSIST_VERSION,
+            "vertices": vertices,
+            "forests": {
+                str(position[v]): [[position[u], position[w], weight]
+                                   for u, w, weight in edges]
+                for v, edges in self._forests.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "TSDIndex":
+        """Inverse of :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != "repro-tsd-index":
+            raise IndexFormatError(f"{path}: not a TSD-index file")
+        if payload.get("version") != _PERSIST_VERSION:
+            raise IndexFormatError(
+                f"{path}: unsupported version {payload.get('version')!r}")
+        raw = payload["vertices"]
+        vertices = [tuple(v) if isinstance(v, list) else v for v in raw]
+        forests = {
+            vertices[int(pos)]: [(vertices[iu], vertices[iw], weight)
+                                 for iu, iw, weight in edges]
+            for pos, edges in payload["forests"].items()
+        }
+        return cls(forests, vertices)

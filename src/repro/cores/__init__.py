@@ -1,0 +1,15 @@
+"""k-core decomposition substrate (Core-Div baseline support)."""
+
+from repro.cores.kcore import (
+    core_decomposition,
+    k_core_subgraph,
+    maximal_connected_k_cores,
+    degeneracy_ordering,
+)
+
+__all__ = [
+    "core_decomposition",
+    "k_core_subgraph",
+    "maximal_connected_k_cores",
+    "degeneracy_ordering",
+]

@@ -1,0 +1,61 @@
+"""Datasets: paper toy graphs, synthetic generators, and the registry."""
+
+from repro.datasets.paper import (
+    figure1_graph,
+    figure1_ego_vertices,
+    figure2_h1_graph,
+    figure18_graph,
+)
+from repro.datasets.synthetic import (
+    add_planted_cliques,
+    barabasi_albert,
+    powerlaw_cluster,
+    erdos_renyi,
+    gnm_random,
+    watts_strogatz,
+    stochastic_block_model,
+    planted_context_graph,
+    power_law_graph,
+)
+from repro.datasets.registry import (
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    paper_table1,
+    FIGURE3_DATASETS,
+    SWEEP_DATASETS,
+)
+from repro.datasets.dblp import (
+    dblp_like_network,
+    TRUSS_HUB,
+    COMP_HUB,
+    CORE_HUB,
+)
+
+__all__ = [
+    "add_planted_cliques",
+    "figure1_graph",
+    "figure1_ego_vertices",
+    "figure2_h1_graph",
+    "figure18_graph",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "erdos_renyi",
+    "gnm_random",
+    "watts_strogatz",
+    "stochastic_block_model",
+    "planted_context_graph",
+    "power_law_graph",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_spec",
+    "load_dataset",
+    "paper_table1",
+    "FIGURE3_DATASETS",
+    "SWEEP_DATASETS",
+    "dblp_like_network",
+    "TRUSS_HUB",
+    "COMP_HUB",
+    "CORE_HUB",
+]

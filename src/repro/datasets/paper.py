@@ -1,0 +1,108 @@
+"""The paper's running-example graphs, reconstructed edge-by-edge.
+
+These tiny graphs anchor the golden tests: the paper states exact edge
+supports, trussnesses, scores, and index contents for them, so every
+algorithm can be validated against published numbers.
+
+* :func:`figure1_graph` — the 17-vertex graph of Figure 1 with
+  ``score(v) = 3`` at ``k = 4``.
+* :func:`figure2_h1_graph` — the H1 subgraph with the exact supports of
+  Figure 2(a) and trussnesses of Figure 2(b).
+* :func:`figure18_graph` — the TSD-vs-TCP comparison graph of Figure 18.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.graph.graph import Graph
+
+
+def _clique_edges(members: List[str]) -> List[Tuple[str, str]]:
+    return list(combinations(members, 2))
+
+
+def figure2_h1_graph() -> Graph:
+    """The subgraph H1 of the running example.
+
+    Two 4-cliques ``{x1..x4}`` and ``{y1..y4}`` bridged by the edges
+    ``(x2, y1)`` and ``(x4, y1)``.  Matches Figure 2 exactly:
+
+    * supports: clique edges 2, except ``(x2, x4)`` with 3 (the bridge
+      vertex ``y1`` adds a triangle); bridges 1;
+    * trussnesses: clique edges 4, bridges 3.
+    """
+    xs = ["x1", "x2", "x3", "x4"]
+    ys = ["y1", "y2", "y3", "y4"]
+    edges = _clique_edges(xs) + _clique_edges(ys)
+    edges += [("x2", "y1"), ("x4", "y1")]
+    return Graph(edges=edges)
+
+
+def figure1_graph() -> Graph:
+    """The full running example ``G`` of Figure 1 (17 vertices).
+
+    The ego-network of ``"v"`` contains three maximal connected
+    4-trusses: H3 = ``{x1..x4}``, H4 = ``{y1..y4}`` and
+    H2 = ``{r1..r6}``, so ``score("v") = 3`` at ``k = 4``.
+
+    Reconstruction notes:
+
+    * H2 is the octahedron ``K_{2,2,2}`` with parts ``{r1,r4}``,
+      ``{r2,r5}``, ``{r3,r6}`` — every edge in exactly two triangles,
+      hence a connected 4-truss on six vertices.  This reproduces the
+      paper's non-symmetry example: ``τ_{G_N(v)}(r1, r2) = 4`` while
+      ``τ_{G_N(r1)}(v, r2) = 3`` (the ego-network of ``r1`` is a wheel).
+    * ``s1`` and ``s2`` are the two vertices outside the ego-network
+      (bringing ``|V|`` to the 17 the paper counts), attached to the x
+      and y groups respectively.
+    """
+    graph = figure2_h1_graph()
+    # Center vertex adjacent to all of x1..x4, y1..y4, r1..r6.
+    for group in (["x1", "x2", "x3", "x4"],
+                  ["y1", "y2", "y3", "y4"],
+                  ["r1", "r2", "r3", "r4", "r5", "r6"]):
+        for u in group:
+            graph.add_edge("v", u)
+    # H2: octahedron on r1..r6 (parts {r1,r4}, {r2,r5}, {r3,r6}).
+    parts = [("r1", "r4"), ("r2", "r5"), ("r3", "r6")]
+    for i in range(3):
+        for j in range(i + 1, 3):
+            for a in parts[i]:
+                for b in parts[j]:
+                    graph.add_edge(a, b)
+    # The two outsiders s1, s2 (not adjacent to v).
+    graph.add_edge("s1", "x1")
+    graph.add_edge("s1", "x3")
+    graph.add_edge("s2", "y2")
+    return graph
+
+
+def figure1_ego_vertices() -> List[str]:
+    """``N(v)`` of the running example, in the paper's order."""
+    return (["x1", "x2", "x3", "x4"]
+            + ["y1", "y2", "y3", "y4"]
+            + ["r1", "r2", "r3", "r4", "r5", "r6"])
+
+
+def figure18_graph() -> Graph:
+    """The TSD-vs-TCP comparison graph of Figure 18.
+
+    A triangle ``q1 q2 q3`` where each triangle edge is thickened into a
+    4-clique by a private vertex pair: ``{q1,q2,z1,z2}``,
+    ``{q1,q3,z3,z4}`` and ``{q2,q3,z5,z6}`` are all K4s.
+
+    Consequences (matching the figure):
+
+    * every edge of the three K4s has global trussness 4, so the
+      TCP-index of ``q1`` carries weight 4 on all five forest edges;
+    * in the *ego-network* of ``q1`` the edge ``(q2, q3)`` has no common
+      neighbour, so its TSD weight is 2, while the two private triangles
+      give weight-3 edges — global trussness and ego trussness tell
+      different stories, the paper's Section 8.2 point.
+    """
+    edges = (_clique_edges(["q1", "q2", "z1", "z2"])
+             + _clique_edges(["q1", "q3", "z3", "z4"])
+             + _clique_edges(["q2", "q3", "z5", "z6"]))
+    return Graph(edges=edges)

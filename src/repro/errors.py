@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class.  Programming errors (wrong types, invalid
+parameters) raise the more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural error on a graph operation (e.g. self-loop insertion)."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A referenced vertex is not present in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A query or construction parameter is out of its valid range."""
+
+
+class IndexFormatError(ReproError):
+    """A persisted index file is malformed or has an unsupported version."""

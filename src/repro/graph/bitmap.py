@@ -1,0 +1,149 @@
+"""Bitmap adjacency for dense local graphs (paper Section 6.2).
+
+The GCT approach accelerates ego-network truss decomposition with
+bitmaps: each ego-network vertex gets a sequential local id, adjacency is
+a bit vector, and the support of an edge ``(x, y)`` is the popcount of
+``Bits_x AND Bits_y``.
+
+Python's arbitrary-precision integers are a natural bitmap: ``|`` sets a
+bit, ``& ... .bit_count()`` intersects and counts in C.  For the dense,
+small ego-networks this is substantially faster than hash-set
+intersection, mirroring the paper's hash-vs-bitmap finding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Vertex, Edge
+
+
+class BitmapAdjacency:
+    """Mutable bitmap adjacency over a fixed vertex universe.
+
+    Parameters
+    ----------
+    vertices:
+        The vertex labels of the local graph, assigned local ids
+        ``0..L-1`` in the given order (paper Algorithm 7 line 7).
+
+    Examples
+    --------
+    >>> bm = BitmapAdjacency.from_edges(
+    ...     ["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+    >>> bm.support("a", "b")
+    1
+    """
+
+    __slots__ = ("_ids", "_labels", "_bits", "_num_edges")
+
+    def __init__(self, vertices: Sequence[Vertex]) -> None:
+        self._labels: List[Vertex] = list(vertices)
+        self._ids: Dict[Vertex, int] = {v: i for i, v in enumerate(self._labels)}
+        if len(self._ids) != len(self._labels):
+            raise GraphError("duplicate vertex labels in bitmap universe")
+        self._bits: List[int] = [0] * len(self._labels)
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(cls, vertices: Sequence[Vertex],
+                   edges: Iterable[Edge]) -> "BitmapAdjacency":
+        """Build from a vertex universe and an edge list."""
+        bm = cls(vertices)
+        for u, v in edges:
+            bm.add_edge(u, v)
+        return bm
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def local_id(self, v: Vertex) -> int:
+        """The sequential local id of ``v`` (Algorithm 7 line 7)."""
+        return self._ids[v]
+
+    def label(self, local_id: int) -> Vertex:
+        """Inverse of :meth:`local_id`."""
+        return self._labels[local_id]
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Set the two adjacency bits for ``{u, v}``; ``True`` if new."""
+        iu, iv = self._ids[u], self._ids[v]
+        if iu == iv:
+            raise GraphError(f"self-loop on {u!r}")
+        if (self._bits[iu] >> iv) & 1:
+            return False
+        self._bits[iu] |= 1 << iv
+        self._bits[iv] |= 1 << iu
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Clear the adjacency bits for ``{u, v}`` (peeling step)."""
+        self.remove_edge_by_id(self._ids[u], self._ids[v])
+
+    def remove_edge_by_id(self, iu: int, iv: int) -> None:
+        """Clear adjacency bits via local ids, avoiding label lookups."""
+        mask_u, mask_v = 1 << iv, 1 << iu
+        if not self._bits[iu] & mask_u:
+            return
+        self._bits[iu] &= ~mask_u
+        self._bits[iv] &= ~mask_v
+        self._num_edges -= 1
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return bool((self._bits[self._ids[u]] >> self._ids[v]) & 1)
+
+    def degree(self, v: Vertex) -> int:
+        return self._bits[self._ids[v]].bit_count()
+
+    def support(self, u: Vertex, v: Vertex) -> int:
+        """``sup(u, v) = popcount(Bits_u AND Bits_v)`` — the bitmap trick."""
+        return (self._bits[self._ids[u]] & self._bits[self._ids[v]]).bit_count()
+
+    def support_by_id(self, iu: int, iv: int) -> int:
+        """Support via local ids, avoiding label lookups on hot paths."""
+        return (self._bits[iu] & self._bits[iv]).bit_count()
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> Iterator[Vertex]:
+        """Iterate the labels of the common neighbours of ``u`` and ``v``."""
+        inter = self._bits[self._ids[u]] & self._bits[self._ids[v]]
+        labels = self._labels
+        while inter:
+            low = inter & -inter
+            yield labels[low.bit_length() - 1]
+            inter ^= low
+
+    def common_neighbor_ids(self, iu: int, iv: int) -> Iterator[int]:
+        """Iterate local ids of common neighbours (hot-path variant)."""
+        inter = self._bits[iu] & self._bits[iv]
+        while inter:
+            low = inter & -inter
+            yield low.bit_length() - 1
+            inter ^= low
+
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate the neighbour labels of ``v``."""
+        bits = self._bits[self._ids[v]]
+        labels = self._labels
+        while bits:
+            low = bits & -bits
+            yield labels[low.bit_length() - 1]
+            bits ^= low
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each edge once, ordered by local ids."""
+        labels = self._labels
+        for iu, bits in enumerate(self._bits):
+            higher = bits >> (iu + 1)
+            offset = iu + 1
+            while higher:
+                low = higher & -higher
+                yield (labels[iu], labels[offset + low.bit_length() - 1])
+                higher ^= low

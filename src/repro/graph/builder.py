@@ -1,0 +1,70 @@
+"""Incremental graph construction helpers.
+
+:class:`GraphBuilder` collects edges (with dedup and self-loop filtering)
+before materialising a :class:`~repro.graph.graph.Graph`; generators in
+:mod:`repro.datasets` use it so that half-built adjacency never escapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.graph.graph import Graph, Vertex, Edge
+
+
+class GraphBuilder:
+    """Accumulate vertices and edges, then :meth:`build` a graph.
+
+    Unlike :class:`Graph`, the builder tolerates self-loops and
+    duplicates on input (they are dropped), which keeps random
+    generators free of defensive checks.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> b.add_edges([(1, 2), (2, 1), (3, 3)])  # dedup + loop filtering
+    1
+    >>> b.build().num_edges
+    1
+    """
+
+    __slots__ = ("_vertices", "_edges", "_seen")
+
+    def __init__(self) -> None:
+        self._vertices: List[Vertex] = []
+        self._edges: List[Edge] = []
+        self._seen: Set[frozenset] = set()
+
+    def add_vertex(self, v: Vertex) -> "GraphBuilder":
+        self._vertices.append(v)
+        return self
+
+    def add_vertices(self, vertices: Iterable[Vertex]) -> "GraphBuilder":
+        self._vertices.extend(vertices)
+        return self
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Queue edge ``{u, v}``; returns ``True`` if it is new and valid."""
+        if u == v:
+            return False
+        key = frozenset((u, v))
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._edges.append((u, v))
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> int:
+        """Queue many edges; returns how many were new and valid."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return frozenset((u, v)) in self._seen
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def build(self) -> Graph:
+        """Materialise the accumulated graph."""
+        return Graph(edges=self._edges, vertices=self._vertices)

@@ -1,0 +1,158 @@
+"""Immutable CSR (compressed sparse row) graph representation.
+
+:class:`CSRGraph` stores vertices as dense integers ``0..n-1`` and
+adjacency as two flat arrays (``indptr``/``indices``) with sorted
+neighbour rows — the layout the paper's C++ implementation uses.  It is
+the memory-lean representation (a few bytes per edge versus hash-set
+overhead) and the natural interchange format for numeric tooling.
+
+An honest performance note, quantified by the ablation bench: in
+**CPython** the hash-set path usually *wins* on speed, because
+``set & set`` runs in C while two-pointer merges run in interpreted
+bytecode.  The C++ intuition ("arrays beat hashing") does not transfer;
+CSR here buys memory compactness and deterministic layout, not time.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.graph import Graph, Vertex
+
+
+class CSRGraph:
+    """Immutable, integer-indexed, sorted-adjacency graph.
+
+    Build with :meth:`from_graph`; vertex labels are preserved in
+    ``labels`` (dense id → label) and ``ids`` (label → dense id).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+    >>> csr = CSRGraph.from_graph(g)
+    >>> csr.num_vertices, csr.num_edges
+    (3, 3)
+    >>> csr.degree_of(csr.ids["b"])
+    2
+    """
+
+    __slots__ = ("indptr", "indices", "labels", "ids")
+
+    def __init__(self, indptr: Sequence[int], indices: Sequence[int],
+                 labels: Sequence[Vertex]) -> None:
+        self.indptr = array("l", indptr)
+        self.indices = array("l", indices)
+        self.labels: List[Vertex] = list(labels)
+        self.ids: Dict[Vertex, int] = {v: i for i, v in enumerate(self.labels)}
+        if len(self.ids) != len(self.labels):
+            raise GraphError("duplicate vertex labels")
+        if len(self.indptr) != len(self.labels) + 1:
+            raise GraphError("indptr length must be n + 1")
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Freeze a :class:`Graph`; dense ids follow insertion order."""
+        labels = list(graph.vertices())
+        ids = {v: i for i, v in enumerate(labels)}
+        indptr = [0]
+        indices: List[int] = []
+        for v in labels:
+            row = sorted(ids[u] for u in graph.neighbors(v))
+            indices.extend(row)
+            indptr.append(len(indices))
+        return cls(indptr, indices, labels)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices) // 2
+
+    def degree_of(self, i: int) -> int:
+        """Degree of the vertex with dense id ``i``."""
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def neighbors_of(self, i: int) -> "array":
+        """Sorted dense-id neighbour slice of vertex ``i``."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def has_edge_ids(self, i: int, j: int) -> bool:
+        """Edge test via binary search in the sorted row."""
+        import bisect
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        pos = bisect.bisect_left(self.indices, j, lo, hi)
+        return pos < hi and self.indices[pos] == j
+
+    def id_of(self, label: Vertex) -> int:
+        try:
+            return self.ids[label]
+        except KeyError:
+            raise VertexNotFoundError(label) from None
+
+    def iter_edge_ids(self) -> Iterator[Tuple[int, int]]:
+        """Each edge once, as ``(i, j)`` with ``i < j``."""
+        indptr, indices = self.indptr, self.indices
+        for i in range(len(self.labels)):
+            for pos in range(indptr[i], indptr[i + 1]):
+                j = indices[pos]
+                if i < j:
+                    yield (i, j)
+
+    def common_neighbor_count(self, i: int, j: int) -> int:
+        """``|N(i) ∩ N(j)|`` by a two-pointer merge of sorted rows."""
+        indices = self.indices
+        a, a_end = self.indptr[i], self.indptr[i + 1]
+        b, b_end = self.indptr[j], self.indptr[j + 1]
+        count = 0
+        while a < a_end and b < b_end:
+            x, y = indices[a], indices[b]
+            if x == y:
+                count += 1
+                a += 1
+                b += 1
+            elif x < y:
+                a += 1
+            else:
+                b += 1
+        return count
+
+    def common_neighbors_ids(self, i: int, j: int) -> List[int]:
+        """``N(i) ∩ N(j)`` as a list of dense ids (two-pointer merge)."""
+        indices = self.indices
+        a, a_end = self.indptr[i], self.indptr[i + 1]
+        b, b_end = self.indptr[j], self.indptr[j + 1]
+        out: List[int] = []
+        while a < a_end and b < b_end:
+            x, y = indices[a], indices[b]
+            if x == y:
+                out.append(x)
+                a += 1
+                b += 1
+            elif x < y:
+                a += 1
+            else:
+                b += 1
+        return out
+
+    def triangle_count(self) -> int:
+        """Total triangles via forward-oriented two-pointer merges."""
+        total = 0
+        for i, j in self.iter_edge_ids():
+            # Count common neighbours greater than j: orienting by id
+            # guarantees each triangle is counted exactly once.
+            for w in self.common_neighbors_ids(i, j):
+                if w > j:
+                    total += 1
+        return total
+
+    def to_graph(self) -> Graph:
+        """Thaw back into a mutable :class:`Graph` (labels preserved)."""
+        g = Graph(vertices=self.labels)
+        for i, j in self.iter_edge_ids():
+            g.add_edge(self.labels[i], self.labels[j])
+        return g

@@ -1,0 +1,115 @@
+"""Ego-network extraction (paper Definition 1).
+
+The ego-network ``G_N(v)`` of a vertex ``v`` is the subgraph induced by
+``N(v)`` — the vertex's neighbours, *excluding* ``v`` itself.  Its edges
+``(u, w)`` correspond one-to-one with the triangles ``△vuw`` through
+``v``, which is why ego-network extraction is fundamentally a triangle
+problem.
+
+Two extraction strategies are provided, matching the two approaches the
+paper evaluates:
+
+* :func:`ego_network` — per-vertex extraction, as used by the online
+  algorithms and TSD-index construction (Algorithm 5).  Each triangle
+  through ``v`` is discovered by intersecting adjacency sets.
+* :func:`all_ego_networks` — the GCT approach (Algorithm 7 lines 1–4):
+  one global pass over the edges; each edge ``(u, v)`` is appended to the
+  ego-network of every common neighbour ``w``.  Each triangle is touched
+  exactly three times — half the six touches of repeated per-vertex
+  extraction — which is the speedup Table 4 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.graph.graph import Graph, Vertex, Edge
+
+
+def ego_network(graph: Graph, v: Vertex) -> Graph:
+    """The ego-network ``G_N(v)`` as a standalone :class:`Graph`.
+
+    Every neighbour of ``v`` appears as a vertex (possibly isolated);
+    edges are the pairs of neighbours adjacent in ``graph``.
+    """
+    nbrs = graph.neighbors(v)
+    ordered = sorted(nbrs, key=graph.vertex_index)
+    ego = Graph(vertices=ordered)
+    index = graph.vertex_index
+    for u in ordered:
+        iu = index(u)
+        # Iterate the smaller of N(u) and N(v) for the intersection.
+        cands = graph.neighbors(u)
+        if len(cands) > len(nbrs):
+            for w in nbrs:
+                if index(w) > iu and w in cands:
+                    ego.add_edge(u, w)
+        else:
+            for w in cands:
+                if w in nbrs and index(w) > iu:
+                    ego.add_edge(u, w)
+    return ego
+
+
+def ego_edge_count(graph: Graph, v: Vertex) -> int:
+    """``m_v``: the number of edges in ``G_N(v)`` (triangles through ``v``)."""
+    nbrs = graph.neighbors(v)
+    index = graph.vertex_index
+    count = 0
+    for u in nbrs:
+        iu = index(u)
+        cands = graph.neighbors(u)
+        if len(cands) > len(nbrs):
+            count += sum(1 for w in nbrs if index(w) > iu and w in cands)
+        else:
+            count += sum(1 for w in cands if w in nbrs and index(w) > iu)
+    return count
+
+
+def all_ego_networks(graph: Graph) -> Dict[Vertex, Graph]:
+    """Extract every ego-network with one global triangle pass.
+
+    Implements Algorithm 7 lines 1–4: for each edge ``(u, v)`` and each
+    common neighbour ``w``, edge ``(u, v)`` belongs to ``G_N(w)``.  Each
+    triangle is enumerated three times in total (once per edge) instead
+    of the six touches incurred by per-vertex extraction.
+
+    Returns a dict mapping every vertex to its ego-network ``Graph``;
+    vertices whose neighbourhood is edgeless map to an ego-network of
+    isolated vertices.
+
+    Memory is ``O(3T)`` edge slots, so this is the right choice when all
+    ego-networks are needed anyway (index construction), and the wrong
+    choice for a single query vertex.
+    """
+    egos: Dict[Vertex, Graph] = {
+        v: Graph(vertices=sorted(graph.neighbors(v), key=graph.vertex_index))
+        for v in graph.vertices()
+    }
+    for u, v in graph.edges():
+        nu, nv = graph.neighbors(u), graph.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w in nv:
+                egos[w].add_edge(u, v)
+    return egos
+
+
+def iter_ego_edge_lists(graph: Graph) -> Iterator[Tuple[Vertex, List[Edge]]]:
+    """Yield ``(v, edges of G_N(v))`` using the global one-shot pass.
+
+    A lighter-weight variant of :func:`all_ego_networks` that avoids
+    building :class:`Graph` objects; used by GCT-index construction where
+    the bitmap decomposition consumes raw edge lists.
+    """
+    buckets: Dict[Vertex, List[Edge]] = {v: [] for v in graph.vertices()}
+    for u, v in graph.edges():
+        nu, nv = graph.neighbors(u), graph.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w in nv:
+                buckets[w].append((u, v))
+    for v in graph.vertices():
+        yield v, buckets[v]

@@ -1,0 +1,155 @@
+"""Graph traversal primitives: BFS and connected components.
+
+Connected-component identification is the last step of the score
+computation (paper Algorithm 2, line 4) and of every index-based query
+(Algorithm 6), so these helpers are deliberately small and allocation
+light.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.graph.graph import Graph, Vertex, Edge
+
+
+def bfs_order(graph: Graph, source: Vertex) -> List[Vertex]:
+    """Vertices reachable from ``source`` in breadth-first order."""
+    visited = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in visited:
+                visited.add(u)
+                order.append(u)
+                queue.append(u)
+    return order
+
+
+def bfs_layers(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Hop distance from ``source`` for every reachable vertex."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dv + 1
+                queue.append(u)
+    return dist
+
+
+def connected_components(graph: Graph,
+                         vertices: Optional[Iterable[Vertex]] = None
+                         ) -> List[Set[Vertex]]:
+    """Connected components of ``graph`` (optionally restricted).
+
+    When ``vertices`` is given, components are computed in the subgraph
+    induced by those vertices without materialising it.
+    """
+    if vertices is None:
+        allowed: Optional[Set[Vertex]] = None
+        universe: Iterable[Vertex] = graph.vertices()
+    else:
+        allowed = {v for v in vertices if v in graph}
+        universe = allowed
+    components: List[Set[Vertex]] = []
+    seen: Set[Vertex] = set()
+    for start in universe:
+        if start in seen:
+            continue
+        seen.add(start)
+        component = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u in seen or (allowed is not None and u not in allowed):
+                    continue
+                seen.add(u)
+                component.add(u)
+                queue.append(u)
+        components.append(component)
+    return components
+
+
+def components_of_edges(edges: Iterable[Edge]) -> List[Set[Vertex]]:
+    """Connected components of the subgraph formed by ``edges``.
+
+    Only vertices incident to at least one edge appear — exactly the
+    semantics of a social context, which is a component of the k-truss
+    and therefore always contains edges (paper Definition 2).
+    """
+    adjacency: Dict[Vertex, List[Vertex]] = {}
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    components: List[Set[Vertex]] = []
+    seen: Set[Vertex] = set()
+    for start in adjacency:
+        if start in seen:
+            continue
+        seen.add(start)
+        component = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in adjacency[v]:
+                if u not in seen:
+                    seen.add(u)
+                    component.add(u)
+                    queue.append(u)
+        components.append(component)
+    return components
+
+
+def count_components_of_edges(edges: Iterable[Edge]) -> int:
+    """Number of connected components spanned by ``edges``.
+
+    Uses a union-find over edge endpoints; cheaper than materialising
+    the components when only ``score(v)`` (their count) is needed.
+    """
+    parent: Dict[Vertex, Vertex] = {}
+
+    def find(x: Vertex) -> Vertex:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    count = 0
+    for u, v in edges:
+        if u not in parent:
+            parent[u] = u
+            count += 1
+        if v not in parent:
+            parent[v] = v
+            count += 1
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            count -= 1
+    return count
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the paper's standing assumption)."""
+    if graph.num_vertices == 0:
+        return True
+    start = next(iter(graph.vertices()))
+    return len(bfs_order(graph, start)) == graph.num_vertices
+
+
+def largest_component(graph: Graph) -> Set[Vertex]:
+    """The vertex set of the largest connected component (empty graph → empty set)."""
+    best: Set[Vertex] = set()
+    for component in connected_components(graph):
+        if len(component) > len(best):
+            best = component
+    return best

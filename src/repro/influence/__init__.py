@@ -1,0 +1,47 @@
+"""Influence propagation: IC simulation, seed selection, experiments."""
+
+from repro.influence.ic import (
+    simulate_cascade,
+    monte_carlo_spread,
+    activation_probabilities,
+    activation_rounds,
+)
+from repro.influence.seeds import (
+    top_degree_seeds,
+    degree_discount_seeds,
+    ris_seeds,
+    celf_seeds,
+)
+from repro.influence.contagion import (
+    ScoreGroupRate,
+    partition_by_score,
+    activation_rate_by_score_group,
+    activated_among_targets,
+    latency_curve,
+    center_activation_probability,
+)
+from repro.influence.lt import (
+    simulate_lt_cascade,
+    lt_activation_probabilities,
+    lt_monte_carlo_spread,
+)
+
+__all__ = [
+    "simulate_lt_cascade",
+    "lt_activation_probabilities",
+    "lt_monte_carlo_spread",
+    "simulate_cascade",
+    "monte_carlo_spread",
+    "activation_probabilities",
+    "activation_rounds",
+    "top_degree_seeds",
+    "degree_discount_seeds",
+    "ris_seeds",
+    "celf_seeds",
+    "ScoreGroupRate",
+    "partition_by_score",
+    "activation_rate_by_score_group",
+    "activated_among_targets",
+    "latency_curve",
+    "center_activation_probability",
+]

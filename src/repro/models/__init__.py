@@ -1,0 +1,16 @@
+"""Structural diversity models compared in the paper's experiments."""
+
+from repro.models.base import DiversityModel
+from repro.models.component import CompDivModel, component_scores
+from repro.models.core import CoreDivModel
+from repro.models.truss import TrussDivModel
+from repro.models.random_model import RandomModel
+
+__all__ = [
+    "DiversityModel",
+    "CompDivModel",
+    "component_scores",
+    "CoreDivModel",
+    "TrussDivModel",
+    "RandomModel",
+]

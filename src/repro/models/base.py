@@ -1,0 +1,65 @@
+"""Common interface for structural diversity models (paper Section 7).
+
+The effectiveness experiments (Exp-7…12) compare four ways of choosing
+"diverse" vertices: Random, Comp-Div (k-sized components), Core-Div
+(k-cores) and Truss-Div (this paper).  All share one interface so the
+influence-propagation harness can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import List, Set
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.results import SearchResult, TopEntry, TopRCollector
+
+
+class DiversityModel(abc.ABC):
+    """A structural diversity definition with top-r selection.
+
+    Subclasses implement :meth:`vertex_contexts`; scoring and top-r
+    selection derive from it.  ``name`` labels the model in experiment
+    output (``Truss-Div``, ``Core-Div``, ``Comp-Div``, ``Random``).
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def vertex_contexts(self, graph: Graph, v: Vertex, k: int) -> List[Set[Vertex]]:
+        """The social contexts of ``v`` under this model."""
+
+    def vertex_score(self, graph: Graph, v: Vertex, k: int) -> int:
+        """Number of social contexts of ``v`` (override for fast paths)."""
+        return len(self.vertex_contexts(graph, v, k))
+
+    def top_r(self, graph: Graph, k: int, r: int,
+              collect_contexts: bool = False) -> SearchResult:
+        """The ``r`` vertices with the most social contexts under this model."""
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+        start = time.perf_counter()
+        r = min(r, max(graph.num_vertices, 1))
+        collector = TopRCollector(r)
+        for v in graph.vertices():
+            collector.offer(v, self.vertex_score(graph, v, k))
+        entries = []
+        for vertex, score in collector.ranked():
+            contexts = (tuple(frozenset(c)
+                              for c in self.vertex_contexts(graph, vertex, k))
+                        if collect_contexts
+                        else tuple(frozenset() for _ in range(score)))
+            entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
+        return SearchResult(
+            method=self.name, k=k, r=r, entries=entries,
+            search_space=graph.num_vertices,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def select(self, graph: Graph, k: int, r: int) -> List[Vertex]:
+        """Just the top-r vertices (the effectiveness experiments' input)."""
+        return self.top_r(graph, k, r).vertices

@@ -1,0 +1,35 @@
+"""Core-Div: core-based structural diversity [Huang et al., VLDB J. 2015].
+
+A social context is a maximal connected ``k``-core of the ego-network —
+a maximal connected subgraph in which every vertex has degree ≥ ``k``.
+The paper's introduction shows the model cannot split the H1 example
+either: for ``k ≤ 3`` the whole component is one ``k``-core, for
+``k ≥ 4`` it disappears.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.graph.egonet import ego_network
+from repro.cores.kcore import maximal_connected_k_cores
+from repro.models.base import DiversityModel
+
+
+class CoreDivModel(DiversityModel):
+    """Core-based structural diversity (maximal connected ``k``-cores)."""
+
+    name = "Core-Div"
+
+    def vertex_contexts(self, graph: Graph, v: Vertex, k: int) -> List[Set[Vertex]]:
+        """Maximal connected ``k``-cores of ``G_N(v)``.
+
+        For ``k ≥ 1`` isolated ego vertices never qualify; social
+        contexts always contain at least ``k + 1`` vertices.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"core threshold k must be >= 1, got {k}")
+        ego = ego_network(graph, v)
+        return maximal_connected_k_cores(ego, k)

@@ -1,0 +1,33 @@
+"""Random selection baseline (paper Section 7 competitor ``Random``)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.graph.graph import Graph, Vertex
+from repro.models.base import DiversityModel
+
+
+class RandomModel(DiversityModel):
+    """Select ``r`` vertices uniformly at random.
+
+    Scores are meaningless under this model (always 0, no contexts);
+    only :meth:`select` matters for the effectiveness experiments.  A
+    fixed ``seed`` makes experiment runs reproducible.
+    """
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def vertex_contexts(self, graph: Graph, v: Vertex, k: int) -> List[Set[Vertex]]:
+        return []
+
+    def select(self, graph: Graph, k: int, r: int) -> List[Vertex]:
+        del k  # the random baseline ignores the threshold
+        vertices = list(graph.vertices())
+        rng = random.Random(self._seed)
+        r = min(r, len(vertices))
+        return rng.sample(vertices, r)

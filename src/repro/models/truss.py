@@ -1,0 +1,53 @@
+"""Truss-Div: this paper's model, wrapped in the common model interface.
+
+Delegates to :mod:`repro.core`; when an index is supplied the expensive
+per-vertex decomposition is skipped entirely, which is how the
+effectiveness experiments select top-r vertices on the larger datasets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Union
+
+from repro.graph.graph import Graph, Vertex
+from repro.core.diversity import social_contexts, structural_diversity
+from repro.core.results import SearchResult
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.models.base import DiversityModel
+
+AnyIndex = Union[TSDIndex, GCTIndex]
+
+
+class TrussDivModel(DiversityModel):
+    """Truss-based structural diversity (the paper's model).
+
+    Parameters
+    ----------
+    index:
+        Optional prebuilt :class:`TSDIndex` or :class:`GCTIndex`; when
+        present, scores, contexts and top-r all come from the index.
+    """
+
+    name = "Truss-Div"
+
+    def __init__(self, index: Optional[AnyIndex] = None) -> None:
+        self._index = index
+
+    def vertex_contexts(self, graph: Graph, v: Vertex, k: int) -> List[Set[Vertex]]:
+        if self._index is not None and v in self._index:
+            return [set(c) for c in self._index.contexts(v, k)]
+        return social_contexts(graph, v, k)
+
+    def vertex_score(self, graph: Graph, v: Vertex, k: int) -> int:
+        if self._index is not None and v in self._index:
+            return self._index.score(v, k)
+        return structural_diversity(graph, v, k)
+
+    def top_r(self, graph: Graph, k: int, r: int,
+              collect_contexts: bool = False) -> SearchResult:
+        if self._index is not None:
+            result = self._index.top_r(k, r, collect_contexts=collect_contexts)
+            result.method = self.name
+            return result
+        return super().top_r(graph, k, r, collect_contexts=collect_contexts)

@@ -1,0 +1,79 @@
+"""k-truss extraction and maximal connected k-trusses (paper Definition 2).
+
+Given the edge trussnesses produced by
+:func:`~repro.truss.decomposition.truss_decomposition`, the ``k``-truss of
+a graph is the union of all edges with trussness at least ``k``; each of
+its connected components is a *maximal connected k-truss* — the paper's
+social context when computed inside an ego-network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.graph.graph import Graph, Vertex, Edge
+from repro.graph.traversal import components_of_edges, count_components_of_edges
+from repro.graph.triangles import edge_supports
+from repro.truss.decomposition import truss_decomposition
+from repro.errors import InvalidParameterError
+
+
+def _require_valid_k(k: int) -> None:
+    if k < 2:
+        raise InvalidParameterError(f"trussness threshold k must be >= 2, got {k}")
+
+
+def k_truss_edges(edge_trussness: Dict[Edge, int], k: int) -> Iterator[Edge]:
+    """Edges of the ``k``-truss: those with trussness ≥ ``k``."""
+    _require_valid_k(k)
+    return (edge for edge, tau in edge_trussness.items() if tau >= k)
+
+
+def k_truss_subgraph(graph: Graph, k: int,
+                     edge_trussness: Optional[Dict[Edge, int]] = None) -> Graph:
+    """The ``k``-truss of ``graph`` as a standalone graph.
+
+    Contains exactly the edges with trussness ≥ ``k`` and their
+    endpoints; may be disconnected (the paper treats each component as a
+    separate social context).
+    """
+    _require_valid_k(k)
+    if edge_trussness is None:
+        edge_trussness = truss_decomposition(graph)
+    return graph.edge_subgraph(k_truss_edges(edge_trussness, k))
+
+
+def maximal_connected_k_trusses(graph: Graph, k: int,
+                                edge_trussness: Optional[Dict[Edge, int]] = None
+                                ) -> List[Set[Vertex]]:
+    """Vertex sets of the connected components of the ``k``-truss.
+
+    Inside an ego-network these are exactly the social contexts
+    ``SC(v)`` of Definition 2.
+    """
+    _require_valid_k(k)
+    if edge_trussness is None:
+        edge_trussness = truss_decomposition(graph)
+    return components_of_edges(k_truss_edges(edge_trussness, k))
+
+
+def count_maximal_connected_k_trusses(graph: Graph, k: int,
+                                      edge_trussness: Optional[Dict[Edge, int]] = None
+                                      ) -> int:
+    """Number of maximal connected ``k``-trusses (``score`` when local)."""
+    _require_valid_k(k)
+    if edge_trussness is None:
+        edge_trussness = truss_decomposition(graph)
+    return count_components_of_edges(k_truss_edges(edge_trussness, k))
+
+
+def is_k_truss(graph: Graph, k: int) -> bool:
+    """Whether *every* edge of ``graph`` has support ≥ ``k - 2``.
+
+    Validation helper (used heavily in tests): a graph is its own
+    ``k``-truss iff this predicate holds.
+    """
+    _require_valid_k(k)
+    if graph.num_edges == 0:
+        return True
+    return min(edge_supports(graph).values()) >= k - 2

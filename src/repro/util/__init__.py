@@ -1,0 +1,6 @@
+"""Shared utilities: union-find, timing."""
+
+from repro.util.dsu import DisjointSet
+from repro.util.timing import StopWatch, time_call
+
+__all__ = ["DisjointSet", "StopWatch", "time_call"]

@@ -1,0 +1,104 @@
+"""Disjoint-set union (union-find) with path halving and union by size.
+
+Used by Kruskal's maximum-spanning-forest construction (TSD-index,
+Algorithm 5), GCT-index assembly (Algorithm 8), and component counting
+in index queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSet(Generic[T]):
+    """Union-find over arbitrary hashable items.
+
+    Items are added lazily on first use, or eagerly via the constructor.
+
+    Examples
+    --------
+    >>> dsu = DisjointSet([1, 2, 3])
+    >>> dsu.union(1, 2)
+    True
+    >>> dsu.connected(1, 2), dsu.connected(1, 3)
+    (True, False)
+    """
+
+    __slots__ = ("_parent", "_size", "_components")
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        self._components = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> bool:
+        """Register ``item`` as a singleton; ``True`` if it was new."""
+        if item in self._parent:
+            return False
+        self._parent[item] = item
+        self._size[item] = 1
+        self._components += 1
+        return True
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_components(self) -> int:
+        """Current number of disjoint components."""
+        return self._components
+
+    def find(self, item: T) -> T:
+        """The canonical representative of ``item``'s component."""
+        parent = self._parent
+        if item not in parent:
+            self.add(item)
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path halving
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> bool:
+        """Merge the components of ``a`` and ``b``; ``True`` if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._components -= 1
+        return True
+
+    def connected(self, a: T, b: T) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same component."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def component_size(self, item: T) -> int:
+        """Size of the component containing ``item``."""
+        return self._size[self.find(item)]
+
+    def components(self) -> List[Set[T]]:
+        """Materialise every component as a set of items."""
+        by_root: Dict[T, Set[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+    def iter_roots(self) -> Iterator[T]:
+        """Iterate one representative per component."""
+        for item in self._parent:
+            if self.find(item) == item:
+                yield item

@@ -1,0 +1,65 @@
+"""Tiny timing utilities for the experiment harness.
+
+The paper's tables report wall-clock phase timings (index construction,
+ego extraction, decomposition, query).  :class:`StopWatch` accumulates
+named phase durations with :func:`time.perf_counter`; it is deliberately
+free of globals so concurrent builds don't interfere.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class StopWatch:
+    """Accumulate named wall-clock phases.
+
+    Examples
+    --------
+    >>> watch = StopWatch()
+    >>> with watch.phase("work"):
+    ...     _ = sum(range(10))
+    >>> watch.seconds("work") >= 0.0
+    True
+    """
+
+    __slots__ = ("_totals",)
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager adding the enclosed duration to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to phase ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> Dict[str, float]:
+        """Snapshot of all phase totals."""
+        return dict(self._totals)
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self._totals.values())
+
+
+def time_call(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)``; return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

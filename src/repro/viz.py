@@ -1,0 +1,117 @@
+"""Visualisation exports: Graphviz DOT and ASCII summaries.
+
+The paper's case study (Figures 16-17) renders ego-networks with each
+social context highlighted.  This module produces the same artefacts as
+Graphviz DOT text (renderable offline with ``dot -Tpng``) plus compact
+ASCII summaries for terminals.  No drawing library is required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.graph.graph import Graph, Vertex
+from repro.graph.egonet import ego_network
+from repro.core.diversity import social_contexts
+
+#: Fill colours cycled across social contexts in DOT output.
+_PALETTE = (
+    "palegreen", "lightskyblue", "lightsalmon", "plum",
+    "khaki", "lightpink", "aquamarine", "wheat",
+)
+
+
+def _quote(label: object) -> str:
+    text = str(label).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def graph_to_dot(graph: Graph, name: str = "G",
+                 highlight: Optional[Sequence[Set[Vertex]]] = None,
+                 edge_labels: Optional[Dict[tuple, object]] = None) -> str:
+    """Render a graph as Graphviz DOT.
+
+    Parameters
+    ----------
+    graph:
+        The graph to render.
+    name:
+        DOT graph name.
+    highlight:
+        Optional groups of vertices (e.g. social contexts); each group
+        is filled with a cycled palette colour, everything else stays
+        white — the Figure 16 visual convention.
+    edge_labels:
+        Optional mapping from canonical edge tuples to labels (e.g.
+        trussness values, as in Figure 2(b)).
+    """
+    colour_of: Dict[Vertex, str] = {}
+    if highlight:
+        for i, group in enumerate(highlight):
+            colour = _PALETTE[i % len(_PALETTE)]
+            for v in group:
+                colour_of[v] = colour
+    lines: List[str] = [f"graph {_quote(name)} {{",
+                        "  node [style=filled, fillcolor=white];"]
+    for v in graph.vertices():
+        colour = colour_of.get(v)
+        attrs = f" [fillcolor={colour}]" if colour else ""
+        lines.append(f"  {_quote(v)}{attrs};")
+    for u, v in graph.edges():
+        label = ""
+        if edge_labels:
+            value = edge_labels.get(graph.canonical_edge(u, v))
+            if value is not None:
+                label = f' [label="{value}"]'
+        lines.append(f"  {_quote(u)} -- {_quote(v)}{label};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ego_network_to_dot(graph: Graph, center: Vertex, k: int,
+                       include_center: bool = False) -> str:
+    """DOT rendering of ``G_N(center)`` with its k-truss contexts filled.
+
+    Reproduces the Figure 16 artefact: one colour per maximal connected
+    k-truss, bridge vertices left white.  With ``include_center`` the
+    ego vertex and its spokes are added (Figure 1(a) style).
+    """
+    ego = ego_network(graph, center)
+    contexts = social_contexts(graph, center, k, ego=ego)
+    target = ego
+    if include_center:
+        target = ego.copy()
+        for u in list(ego.vertices()):
+            target.add_edge(center, u)
+    return graph_to_dot(target, name=f"ego_{center}", highlight=contexts)
+
+
+def contexts_summary(graph: Graph, center: Vertex, k: int,
+                     max_members: int = 6) -> str:
+    """ASCII one-liner-per-context summary of ``SC(center)``."""
+    contexts = social_contexts(graph, center, k)
+    ego = ego_network(graph, center)
+    lines = [f"ego-network of {center!r}: {ego.num_vertices} vertices, "
+             f"{ego.num_edges} edges; {len(contexts)} social context(s) "
+             f"at k={k}"]
+    for i, context in enumerate(sorted(contexts, key=len, reverse=True)):
+        members = sorted(map(str, context))
+        shown = ", ".join(members[:max_members])
+        suffix = ", ..." if len(members) > max_members else ""
+        lines.append(f"  [{i}] {len(members)} members: {shown}{suffix}")
+    return "\n".join(lines)
+
+
+def trussness_histogram_ascii(histogram: Dict[int, int],
+                              width: int = 50) -> str:
+    """Log-scaled ASCII bar chart of a trussness histogram (Figure 3)."""
+    import math
+    if not histogram:
+        return "(empty histogram)"
+    max_log = max(math.log10(c + 1) for c in histogram.values())
+    lines = []
+    for tau in sorted(histogram):
+        count = histogram[tau]
+        bar = "#" * max(1, int(width * math.log10(count + 1) / max_log))
+        lines.append(f"  tau={tau:>3} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+from repro.datasets.paper import figure1_graph, figure2_h1_graph, figure18_graph
+from repro.datasets.synthetic import planted_context_graph, powerlaw_cluster
+
+# Property tests run graph algorithms per example; relax the deadline
+# and trim the example count so the suite stays fast but meaningful.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Fixtures: canonical small graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(edges=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def k4() -> Graph:
+    return complete_graph(4)
+
+
+@pytest.fixture
+def path4() -> Graph:
+    return Graph(edges=[(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def figure1() -> Graph:
+    return figure1_graph()
+
+
+@pytest.fixture
+def h1() -> Graph:
+    return figure2_h1_graph()
+
+
+@pytest.fixture
+def figure18() -> Graph:
+    return figure18_graph()
+
+
+@pytest.fixture
+def planted() -> Graph:
+    """3 cliques of 5 around "ego": score 3 for 3 <= k <= 5."""
+    return planted_context_graph(num_contexts=3, context_size=5,
+                                 num_bridges=1, extra_neighbors=2, seed=3)
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    """A triangle-rich power-law graph big enough to exercise pruning."""
+    return powerlaw_cluster(120, 4, 0.5, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Graph construction helpers
+# ----------------------------------------------------------------------
+def complete_graph(n: int) -> Graph:
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    return Graph(edges=[(i, (i + 1) % n) for i in range(n)])
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def graph_strategy(draw, min_vertices: int = 1, max_vertices: int = 12,
+                   max_extra_density: float = 1.0):
+    """Random simple graphs that shrink towards small sparse ones."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if not possible:
+        return Graph(vertices=range(n))
+    edges = draw(st.lists(st.sampled_from(possible),
+                          max_size=int(len(possible) * max_extra_density)))
+    return Graph(edges=edges, vertices=range(n))
+
+
+@st.composite
+def dense_graph_strategy(draw, min_vertices: int = 4, max_vertices: int = 10):
+    """Graphs biased towards triangles (interesting trussness)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    seed = draw(st.integers(0, 10_000))
+    p = draw(st.sampled_from([0.3, 0.5, 0.7]))
+    return random_graph(n, p, seed)

@@ -1,0 +1,87 @@
+"""Oracles for property tests: networkx adapters and brute-force references."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from repro.graph.graph import Graph, Vertex, Edge
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def nx_ktruss_edges(graph: Graph, k: int) -> Set[frozenset]:
+    """Edge set of the k-truss according to networkx (same convention)."""
+    sub = nx.k_truss(to_networkx(graph), k)
+    return {frozenset(e) for e in sub.edges()}
+
+
+def brute_trussness(graph: Graph) -> Dict[Edge, int]:
+    """Edge trussness from the definition: iterate k-truss peeling per k.
+
+    Independent of the library's bucket implementation: for each k,
+    repeatedly delete edges with support < k - 2; an edge's trussness is
+    the largest k whose truss still contains it.
+    """
+    result: Dict[Edge, int] = {}
+    k = 2
+    remaining = {frozenset((u, v)) for u, v in graph.edges()}
+    canonical = {frozenset((u, v)): graph.canonical_edge(u, v)
+                 for u, v in graph.edges()}
+    while remaining:
+        # Compute the (k+1)-truss of the current graph.
+        edges = set(remaining)
+        changed = True
+        while changed:
+            changed = False
+            adjacency: Dict[Vertex, Set[Vertex]] = {}
+            for e in edges:
+                u, v = tuple(e)
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+            for e in list(edges):
+                u, v = tuple(e)
+                support = len(adjacency[u] & adjacency[v])
+                if support < (k + 1) - 2:
+                    edges.discard(e)
+                    changed = True
+        # Everything dropped from `remaining` to `edges` has trussness k.
+        for e in remaining - edges:
+            result[canonical[e]] = k
+        remaining = edges
+        k += 1
+    return result
+
+
+def brute_structural_diversity(graph: Graph, v: Vertex, k: int) -> int:
+    """score(v) via networkx: ego subgraph, k_truss, component count."""
+    g = to_networkx(graph)
+    ego = g.subgraph(g.neighbors(v)).copy()
+    truss = nx.k_truss(ego, k)
+    truss.remove_nodes_from([n for n in list(truss) if truss.degree(n) == 0])
+    if truss.number_of_nodes() == 0:
+        return 0
+    return nx.number_connected_components(truss)
+
+
+def brute_social_contexts(graph: Graph, v: Vertex, k: int) -> Set[frozenset]:
+    """SC(v) via networkx, as a set of frozensets."""
+    g = to_networkx(graph)
+    ego = g.subgraph(g.neighbors(v)).copy()
+    truss = nx.k_truss(ego, k)
+    truss.remove_nodes_from([n for n in list(truss) if truss.degree(n) == 0])
+    return {frozenset(c) for c in nx.connected_components(truss)}
+
+
+def nx_core_numbers(graph: Graph) -> Dict[Vertex, int]:
+    return nx.core_number(to_networkx(graph))
+
+
+def nx_triangle_count(graph: Graph) -> int:
+    return sum(nx.triangles(to_networkx(graph)).values()) // 3

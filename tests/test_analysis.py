@@ -1,0 +1,87 @@
+"""Tests for the statistical analysis helpers."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.analysis import (
+    summarize_scores,
+    diversity_contagion_correlation,
+    compare_selections,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize_scores({1: 0, 2: 2, 3: 2, 4: 5})
+        assert summary.count == 4
+        assert summary.nonzero == 3
+        assert summary.maximum == 5
+        assert summary.mean == pytest.approx(2.25)
+        assert summary.histogram == {0: 1, 2: 2, 5: 1}
+        assert summary.nonzero_fraction == pytest.approx(0.75)
+
+    def test_empty(self):
+        summary = summarize_scores({})
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.nonzero_fraction == 0.0
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        scores = {i: i for i in range(1, 11)}
+        activation = {i: i / 10.0 for i in range(1, 11)}
+        result = diversity_contagion_correlation(scores, activation)
+        assert result.spearman_rho == pytest.approx(1.0)
+        assert result.is_positive
+        assert result.is_significant()
+        assert result.sample_size == 10
+
+    def test_negative(self):
+        scores = {i: i for i in range(1, 11)}
+        activation = {i: 1.0 - i / 10.0 for i in range(1, 11)}
+        result = diversity_contagion_correlation(scores, activation)
+        assert result.spearman_rho == pytest.approx(-1.0)
+        assert not result.is_positive
+
+    def test_zero_score_exclusion(self):
+        scores = {1: 0, 2: 0, 3: 1, 4: 2, 5: 3, 6: 4}
+        activation = {v: v / 10 for v in scores}
+        full = diversity_contagion_correlation(scores, activation)
+        positive_only = diversity_contagion_correlation(
+            scores, activation, include_zero_scores=False)
+        assert positive_only.sample_size == 4
+        assert full.sample_size == 6
+
+    def test_too_few_points(self):
+        with pytest.raises(InvalidParameterError):
+            diversity_contagion_correlation({1: 1, 2: 2}, {1: 0.1, 2: 0.2})
+
+    def test_constant_variable_rejected(self):
+        scores = {i: 1 for i in range(10)}
+        activation = {i: i / 10 for i in range(10)}
+        with pytest.raises(InvalidParameterError):
+            diversity_contagion_correlation(scores, activation)
+
+    def test_disjoint_keys_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            diversity_contagion_correlation({1: 1}, {2: 0.5})
+
+
+class TestCompareSelections:
+    def test_ordering(self):
+        activation = {1: 0.9, 2: 0.5, 3: 0.1, 4: 0.2}
+        ranking = compare_selections(activation, {
+            "good": [1, 2],
+            "bad": [3, 4],
+        })
+        assert ranking[0][0] == "good"
+        assert ranking[0][1] == pytest.approx(0.7)
+        assert ranking[1][1] == pytest.approx(0.15)
+
+    def test_missing_vertices_skipped(self):
+        ranking = compare_selections({1: 1.0}, {"m": [1, 99]})
+        assert ranking == [("m", 1.0)]
+
+    def test_empty_selection(self):
+        assert compare_selections({1: 1.0}, {"m": []}) == [("m", 0.0)]

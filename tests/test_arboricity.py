@@ -1,0 +1,75 @@
+"""Tests for arboricity and degeneracy bounds (Theorem 2 machinery)."""
+
+import math
+
+from hypothesis import given
+
+from repro.graph.graph import Graph
+from repro.graph.arboricity import (
+    degeneracy,
+    arboricity_upper_bound,
+    arboricity_lower_bound,
+)
+from repro.cores.kcore import core_decomposition
+
+from tests.conftest import graph_strategy, complete_graph, cycle_graph
+
+
+class TestDegeneracy:
+    def test_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_tree(self):
+        g = Graph(edges=[(0, 1), (1, 2), (1, 3), (3, 4)])
+        assert degeneracy(g) == 1
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(8)) == 2
+
+    def test_complete(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    @given(graph_strategy())
+    def test_equals_max_core_number(self, g):
+        cores = core_decomposition(g)
+        assert degeneracy(g) == max(cores.values(), default=0)
+
+
+class TestArboricityBounds:
+    def test_empty(self):
+        assert arboricity_upper_bound(Graph()) == 0
+        assert arboricity_lower_bound(Graph()) == 0
+
+    def test_tree_bounds(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        # A tree has arboricity exactly 1.
+        assert arboricity_lower_bound(g) == 1
+        assert arboricity_upper_bound(g) >= 1
+
+    def test_complete_graph_bracket(self):
+        # K_n has arboricity ceil(n/2).
+        for n in (4, 6, 8):
+            g = complete_graph(n)
+            true_arboricity = math.ceil(n / 2)
+            assert arboricity_lower_bound(g) <= true_arboricity
+            assert arboricity_upper_bound(g) >= true_arboricity
+
+    @given(graph_strategy())
+    def test_lower_at_most_upper(self, g):
+        assert arboricity_lower_bound(g) <= max(arboricity_upper_bound(g),
+                                                arboricity_lower_bound(g))
+        if g.num_edges > 0:
+            assert arboricity_lower_bound(g) <= arboricity_upper_bound(g)
+
+    @given(graph_strategy())
+    def test_upper_bound_respects_paper_bound(self, g):
+        """ceil-sqrt form of the paper's bound: rho <= min(√m, dmax)."""
+        if g.num_edges == 0:
+            return
+        bound = arboricity_upper_bound(g)
+        assert bound <= math.isqrt(g.num_edges) + 1
+        assert bound <= g.max_degree()
+
+    def test_k3_needs_the_ceiling(self):
+        """K3 has arboricity 2: the paper's ⌊√m⌋ = 1 would be wrong."""
+        assert arboricity_upper_bound(complete_graph(3)) == 2

@@ -1,0 +1,71 @@
+"""Tests for the experiment harness (reporting + runners)."""
+
+import pytest
+
+from repro.bench.reporting import format_table, format_series, speedup
+from repro.bench.runner import (
+    METHOD_NAMES,
+    measure,
+    run_method,
+    tsd_index,
+    gct_index,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1], ["b", 123_456]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "123,456" in text
+
+    def test_format_table_none_renders_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[0.00012], [12.5], [12345.6]])
+        assert "0.00012" in text
+        assert "12.500" in text
+        assert "12,346" in text
+
+    def test_format_series(self):
+        text = format_series("fig", "k", {"TSD": [1, 2], "GCT": [3, 4]},
+                             x_values=[2, 3])
+        assert "fig" in text
+        assert "TSD" in text and "GCT" in text
+
+    def test_series_ragged_columns(self):
+        text = format_series("fig", "k", {"a": [1]}, x_values=[2, 3])
+        assert "-" in text  # missing point rendered as dash
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) is None
+
+
+class TestRunner:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_method("nope", "wiki-vote", 3, 1)
+
+    def test_all_methods_agree_on_wiki_vote(self):
+        results = {m: run_method(m, "wiki-vote", 3, 5, collect_contexts=False)
+                   for m in METHOD_NAMES}
+        score_sets = {tuple(sorted(r.scores, reverse=True))
+                      for r in results.values()}
+        assert len(score_sets) == 1
+
+    def test_measure_records_fields(self):
+        m = measure("TSD", "wiki-vote", 3, 5)
+        assert m.method == "TSD"
+        assert m.seconds >= 0.0
+        assert m.search_space > 0
+        assert len(m.top_scores) <= 5
+
+    def test_indexes_cached(self):
+        assert tsd_index("wiki-vote") is tsd_index("wiki-vote")
+        assert gct_index("wiki-vote") is gct_index("wiki-vote")

@@ -1,0 +1,89 @@
+"""Tests for the bitmap adjacency used by GCT (Section 6.2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graph.bitmap import BitmapAdjacency
+
+from tests.conftest import graph_strategy
+
+
+class TestBasics:
+    def test_empty(self):
+        bm = BitmapAdjacency([])
+        assert bm.num_vertices == 0
+        assert bm.num_edges == 0
+
+    def test_duplicate_universe_rejected(self):
+        with pytest.raises(GraphError):
+            BitmapAdjacency(["a", "a"])
+
+    def test_add_edge(self):
+        bm = BitmapAdjacency("abc")
+        assert bm.add_edge("a", "b") is True
+        assert bm.add_edge("b", "a") is False
+        assert bm.num_edges == 1
+        assert bm.has_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        bm = BitmapAdjacency("ab")
+        with pytest.raises(GraphError):
+            bm.add_edge("a", "a")
+
+    def test_remove_edge(self):
+        bm = BitmapAdjacency.from_edges("abc", [("a", "b"), ("b", "c")])
+        bm.remove_edge("a", "b")
+        assert not bm.has_edge("a", "b")
+        assert bm.num_edges == 1
+        bm.remove_edge("a", "b")  # idempotent
+        assert bm.num_edges == 1
+
+    def test_local_ids_sequential(self):
+        bm = BitmapAdjacency(["x", "y", "z"])
+        assert [bm.local_id(v) for v in "xyz"] == [0, 1, 2]
+        assert bm.label(1) == "y"
+
+
+class TestSupportAndNeighbors:
+    def test_triangle_support(self):
+        bm = BitmapAdjacency.from_edges(
+            "abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        assert bm.support("a", "b") == 1
+        assert set(bm.common_neighbors("a", "b")) == {"c"}
+
+    def test_degree(self):
+        bm = BitmapAdjacency.from_edges("abcd", [("a", "b"), ("a", "c"), ("a", "d")])
+        assert bm.degree("a") == 3
+        assert bm.degree("b") == 1
+
+    def test_edges_iteration(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        bm = BitmapAdjacency.from_edges("abc", edges)
+        seen = {frozenset(e) for e in bm.edges()}
+        assert seen == {frozenset(e) for e in edges}
+
+    @given(graph_strategy(min_vertices=2))
+    def test_matches_graph_adjacency(self, g):
+        vertices = list(g.vertices())
+        bm = BitmapAdjacency.from_edges(vertices, g.edges())
+        assert bm.num_edges == g.num_edges
+        for v in vertices:
+            assert set(bm.neighbors(v)) == g.neighbors(v)
+            assert bm.degree(v) == g.degree(v)
+
+    @given(graph_strategy(min_vertices=2))
+    def test_support_matches_graph(self, g):
+        bm = BitmapAdjacency.from_edges(list(g.vertices()), g.edges())
+        for u, v in g.edges():
+            assert bm.support(u, v) == g.support(u, v)
+            assert set(bm.common_neighbors(u, v)) == g.common_neighbors(u, v)
+
+    @given(graph_strategy(min_vertices=2))
+    def test_id_paths_agree_with_label_paths(self, g):
+        bm = BitmapAdjacency.from_edges(list(g.vertices()), g.edges())
+        for u, v in g.edges():
+            iu, iv = bm.local_id(u), bm.local_id(v)
+            assert bm.support_by_id(iu, iv) == bm.support(u, v)
+            by_id = {bm.label(i) for i in bm.common_neighbor_ids(iu, iv)}
+            assert by_id == set(bm.common_neighbors(u, v))

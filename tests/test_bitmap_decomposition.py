@@ -1,0 +1,53 @@
+"""Bitmap truss decomposition must agree exactly with the hash version."""
+
+from hypothesis import given
+
+from repro.graph.graph import Graph
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.bitmap_decomposition import (
+    bitmap_truss_decomposition,
+    bitmap_truss_decomposition_graph,
+)
+
+from tests.conftest import graph_strategy, dense_graph_strategy, complete_graph
+
+
+class TestBitmapDecomposition:
+    def test_empty(self):
+        assert bitmap_truss_decomposition([], []) == {}
+        assert bitmap_truss_decomposition("abc", []) == {}
+
+    def test_triangle(self):
+        tau = bitmap_truss_decomposition(
+            "abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        assert set(tau.values()) == {3}
+
+    def test_keys_preserve_input_orientation(self):
+        tau = bitmap_truss_decomposition("ab", [("b", "a")])
+        assert list(tau) == [("b", "a")]
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        tau = bitmap_truss_decomposition_graph(g)
+        assert set(tau.values()) == {6}
+
+    def test_paper_h1(self, h1):
+        hash_tau = truss_decomposition(h1)
+        bitmap_tau = bitmap_truss_decomposition_graph(h1)
+        assert bitmap_tau == hash_tau
+
+    @given(graph_strategy())
+    def test_matches_hash_version(self, g):
+        assert bitmap_truss_decomposition_graph(g) == truss_decomposition(g)
+
+    @given(dense_graph_strategy())
+    def test_matches_hash_version_dense(self, g):
+        assert bitmap_truss_decomposition_graph(g) == truss_decomposition(g)
+
+    def test_large_universe_beyond_machine_word(self):
+        """Bitmaps are Python ints: vertex ids past 64 must still work."""
+        members = [f"v{i}" for i in range(70)]
+        edges = [(members[i], members[j])
+                 for i in range(66, 70) for j in range(i + 1, 70)]
+        tau = bitmap_truss_decomposition(members, edges)
+        assert set(tau.values()) == {4}  # a K4 at the high bit positions

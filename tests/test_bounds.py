@@ -1,0 +1,91 @@
+"""Tests for the pruning upper bounds (Lemma 2 and the TSD bound)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.core.bounds import (
+    clique_upper_bound,
+    clique_upper_bounds,
+    tsd_upper_bound,
+    count_at_least,
+)
+from repro.core.diversity import structural_diversity
+from repro.core.tsd import TSDIndex
+
+from tests.conftest import dense_graph_strategy
+
+
+class TestCountAtLeast:
+    def test_basic(self):
+        weights = [5, 4, 4, 3, 2]
+        assert count_at_least(weights, 2) == 5
+        assert count_at_least(weights, 3) == 4
+        assert count_at_least(weights, 4) == 3
+        assert count_at_least(weights, 5) == 1
+        assert count_at_least(weights, 6) == 0
+
+    def test_empty(self):
+        assert count_at_least([], 3) == 0
+
+    @given(st.lists(st.integers(0, 20)), st.integers(0, 25))
+    def test_matches_linear_scan(self, values, k):
+        ordered = sorted(values, reverse=True)
+        assert count_at_least(ordered, k) == sum(1 for x in values if x >= k)
+
+
+class TestCliqueBound:
+    def test_paper_example3_v(self, figure1):
+        """score̅(v) = min(⌊14/4⌋, ⌊2·26/12⌋) = min(3, 4) = 3."""
+        bounds = clique_upper_bounds(figure1, 4)
+        assert bounds["v"] == 3
+
+    def test_paper_example3_x1(self, figure1):
+        """score̅(x1) = 1 at k = 4 (d=5, m_v=7)."""
+        bounds = clique_upper_bounds(figure1, 4)
+        assert bounds["x1"] == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            clique_upper_bound(10, 10, 1)
+
+    def test_formula(self):
+        assert clique_upper_bound(degree=10, ego_edges=45, k=5) == 2
+        assert clique_upper_bound(degree=4, ego_edges=100, k=5) == 0
+
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4, 5]))
+    @settings(max_examples=25)
+    def test_is_upper_bound(self, g, k):
+        """Lemma 2: score(v) <= score̅(v) for every vertex."""
+        bounds = clique_upper_bounds(g, k)
+        for v in list(g.vertices())[:6]:
+            assert structural_diversity(g, v, k) <= bounds[v]
+
+
+class TestTSDBound:
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            tsd_upper_bound([4, 3], 1)
+
+    def test_formula(self):
+        # 4 edges with weight >= 3, k = 3: bound = 4 // 2 = 2.
+        assert tsd_upper_bound([5, 4, 3, 3, 2], 3) == 2
+
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=25)
+    def test_is_upper_bound(self, g, k):
+        """Section 5.2: score(v) <= |{w(e) >= k}| / (k-1)."""
+        index = TSDIndex.build(g)
+        for v in list(g.vertices())[:6]:
+            assert index.score(v, k) <= index.upper_bound(v, k)
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_tsd_bound_monotone_in_k(self, g):
+        """Raising k can only shrink the qualifying edge count and grow
+        the divisor, so the bound is non-increasing in k."""
+        index = TSDIndex.build(g)
+        for v in list(g.vertices())[:6]:
+            bounds = [index.upper_bound(v, k) for k in range(2, 8)]
+            assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, build_parser
+from repro.graph.graph import Graph
+from repro.graph.io import write_edge_list, write_json_graph
+from repro.datasets.paper import figure1_graph
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    """Figure 1 graph with integer labels, as an edge-list file."""
+    g = figure1_graph()
+    relabel = {v: i for i, v in enumerate(g.vertices())}
+    relabelled = Graph(edges=[(relabel[u], relabel[v]) for u, v in g.edges()])
+    path = tmp_path / "figure1.txt"
+    write_edge_list(relabelled, path)
+    return str(path), relabel["v"]
+
+
+class TestStats:
+    def test_stats(self, figure1_file, capsys):
+        path, _ = figure1_file
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "17" in out and "43" in out
+
+    def test_stats_fast(self, figure1_file, capsys):
+        path, _ = figure1_file
+        assert main(["stats", path, "--fast"]) == 0
+        assert "-" in capsys.readouterr().out
+
+
+class TestTopr:
+    @pytest.mark.parametrize("method", ["baseline", "bound", "tsd", "gct"])
+    def test_methods_agree(self, figure1_file, capsys, method):
+        path, v_id = figure1_file
+        assert main(["topr", path, "-k", "4", "-r", "1",
+                     "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert f"{v_id}: score=3" in out
+
+    def test_contexts_flag(self, figure1_file, capsys):
+        path, _ = figure1_file
+        assert main(["topr", path, "-k", "4", "-r", "1", "--contexts"]) == 0
+        assert "context:" in capsys.readouterr().out
+
+
+class TestScore:
+    def test_score(self, figure1_file, capsys):
+        path, v_id = figure1_file
+        assert main(["score", path, str(v_id), "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "= 3" in out
+        assert out.count("context:") == 3
+
+
+class TestIndexCommands:
+    def test_build_and_query_tsd(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        out_path = str(tmp_path / "tsd.json")
+        assert main(["build-index", path, out_path, "--type", "tsd"]) == 0
+        assert main(["query-index", out_path, "-k", "4", "-r", "1"]) == 0
+        assert f"{v_id}: score=3" in capsys.readouterr().out
+
+    def test_build_and_query_gct(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        out_path = str(tmp_path / "gct.json")
+        assert main(["build-index", path, out_path, "--type", "gct"]) == 0
+        assert main(["query-index", out_path, "-k", "4", "-r", "1"]) == 0
+        assert f"{v_id}: score=3" in capsys.readouterr().out
+
+
+class TestSparsifyCommand:
+    def test_sparsify(self, figure1_file, tmp_path, capsys):
+        path, _ = figure1_file
+        out_path = str(tmp_path / "reduced.txt")
+        assert main(["sparsify", path, out_path, "-k", "4"]) == 0
+        assert "removed" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_json(self, tmp_path, capsys):
+        out_path = str(tmp_path / "wiki.json")
+        assert main(["generate", "wiki-vote", out_path]) == 0
+        payload = json.loads((tmp_path / "wiki.json").read_text())
+        assert payload["format"] == "repro-graph"
+
+    def test_generate_edge_list(self, tmp_path, capsys):
+        out_path = str(tmp_path / "wiki.txt")
+        assert main(["generate", "wiki-vote", out_path]) == 0
+        assert "|V|" in capsys.readouterr().out
+
+
+class TestCommunities:
+    def test_communities(self, tmp_path, capsys):
+        from repro.datasets.paper import figure18_graph
+        g = figure18_graph()
+        relabel = {v: i for i, v in enumerate(g.vertices())}
+        relabelled = Graph(edges=[(relabel[u], relabel[v])
+                                  for u, v in g.edges()])
+        path = str(tmp_path / "f18.txt")
+        write_edge_list(relabelled, path)
+        assert main(["communities", path, str(relabel["q1"]),
+                     "-k", "4", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "1 k-truss communities" in out
+
+
+class TestAnalyze:
+    def test_analyze(self, figure1_file, capsys):
+        path, _ = figure1_file
+        assert main(["analyze", path, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "structural diversity at k=4" in out
+        assert "max score: 3" in out
+
+
+class TestDot:
+    def test_dot_export(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        out_path = str(tmp_path / "ego.dot")
+        assert main(["dot", path, str(v_id), out_path, "-k", "4"]) == 0
+        text = (tmp_path / "ego.dot").read_text()
+        assert text.startswith("graph")
+        assert "palegreen" in text
+        assert "3 social context(s)" in capsys.readouterr().out
+
+    def test_dot_with_center(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        out_path = str(tmp_path / "ego2.dot")
+        assert main(["dot", path, str(v_id), out_path, "-k", "4",
+                     "--center"]) == 0
+        assert f'"{v_id}"' in (tmp_path / "ego2.dot").read_text()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_json_graph_loading(self, tmp_path, capsys):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        path = str(tmp_path / "tri.json")
+        write_json_graph(g, path)
+        # Ego of "a" is the single edge (b, c): one 2-truss context.
+        assert main(["score", path, "a", "-k", "2"]) == 0
+        assert "= 1" in capsys.readouterr().out

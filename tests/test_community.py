@@ -1,0 +1,139 @@
+"""Tests for k-truss community search (TCP-index, Equi-Truss, reference)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.community.reference import truss_communities
+from repro.community.tcp import TCPIndex
+from repro.community.equitruss import EquiTrussIndex
+
+from tests.conftest import dense_graph_strategy, complete_graph
+
+
+def _as_sets(communities):
+    return {(c.vertices, c.edges and frozenset(frozenset(e) for e in c.edges))
+            for c in communities}
+
+
+class TestReference:
+    def test_invalid_k(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            truss_communities(triangle, 1)
+
+    def test_triangle_is_community(self, triangle):
+        comms = truss_communities(triangle, 3)
+        assert len(comms) == 1
+        assert comms[0].vertices == frozenset({0, 1, 2})
+
+    def test_query_filter(self, figure18):
+        all_comms = truss_communities(figure18, 4)
+        q1_comms = truss_communities(figure18, 4, query="q1")
+        assert len(q1_comms) <= len(all_comms)
+        assert all("q1" in c.vertices for c in q1_comms)
+
+    def test_two_triangles_sharing_vertex_not_connected(self):
+        """Triangle connectivity requires shared *edges in triangles*,
+        not shared vertices: bowtie triangles are separate communities."""
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        comms = truss_communities(g, 3)
+        assert len(comms) == 2
+
+    def test_k_truss_community_vertices_match_edges(self, medium_graph):
+        for c in truss_communities(medium_graph, 4):
+            endpoint_union = ({u for u, _ in c.edges}
+                              | {v for _, v in c.edges})
+            assert c.vertices == frozenset(endpoint_union)
+
+
+class TestTCPIndex:
+    def test_figure18_forest_weights(self, figure18):
+        """Figure 18(b): all five TCP_q1 forest edges carry weight 4."""
+        index = TCPIndex.build(figure18)
+        weights = [w for _, _, w in index.forest("q1")]
+        assert sorted(weights) == [4, 4, 4, 4, 4]
+
+    def test_figure18_vs_tsd_weights(self, figure18):
+        """The Section 8.2 distinction: TCP uses global trussness (all
+        4s), TSD uses ego trussness ((q2,q3) drops to 2)."""
+        from repro.core.tsd import TSDIndex
+        tsd = TSDIndex.build(figure18)
+        tsd_weights = sorted(w for _, _, w in tsd.forest("q1"))
+        assert tsd_weights == [2, 3, 3, 3, 3]
+
+    def test_edge_trussness_accessor(self, figure18):
+        index = TCPIndex.build(figure18)
+        assert index.edge_trussness("q2", "q3") == 4
+
+    def test_invalid_k(self, triangle):
+        index = TCPIndex.build(triangle)
+        with pytest.raises(InvalidParameterError):
+            index.communities(0, 1)
+
+    def test_k4_whole_community(self):
+        g = complete_graph(5)
+        index = TCPIndex.build(g)
+        comms = index.communities(0, 5)
+        assert len(comms) == 1
+        assert comms[0].vertices == frozenset(range(5))
+
+    @given(dense_graph_strategy(), st.sampled_from([3, 4]))
+    @settings(max_examples=20)
+    def test_matches_reference(self, g, k):
+        index = TCPIndex.build(g)
+        for q in list(g.vertices())[:4]:
+            expected = {c.vertices: c.edges
+                        for c in truss_communities(g, k, query=q)}
+            got = {c.vertices: c.edges for c in index.communities(q, k)}
+            assert got == expected
+
+
+class TestEquiTruss:
+    def test_triangle_summary(self, triangle):
+        index = EquiTrussIndex.build(triangle)
+        assert index.num_supernodes == 1
+        assert index.num_superedges == 0
+        assert index.supernodes[0].trussness == 3
+        assert index.supernodes[0].vertices == frozenset({0, 1, 2})
+
+    def test_supernode_of(self, triangle):
+        index = EquiTrussIndex.build(triangle)
+        assert index.supernode_of(0, 1) == index.supernode_of(1, 2)
+
+    def test_h1_structure(self, h1):
+        index = EquiTrussIndex.build(h1)
+        taus = sorted(sn.trussness for sn in index.supernodes)
+        # Two 4-level classes (x-clique and y-clique edges are not
+        # 4-triangle-connected to each other) and one 3-level class
+        # holding both bridges (joined by the triangle x2-x4-y1).
+        assert taus == [3, 4, 4]
+
+    def test_h1_triangle_connectivity_is_strict(self, h1):
+        """Sharing the vertex y1 is not enough: no triangle with all
+        edges of trussness >= 3 spans a bridge and a y-clique edge, so
+        at k=3 the y-clique is a separate community from x-clique+bridges."""
+        index = EquiTrussIndex.build(h1)
+        comms = index.communities("x1", 3)
+        assert len(comms) == 1
+        assert comms[0].vertices == frozenset({"x1", "x2", "x3", "x4", "y1"})
+
+    def test_invalid_k(self, triangle):
+        index = EquiTrussIndex.build(triangle)
+        with pytest.raises(InvalidParameterError):
+            index.communities(0, 0)
+
+    @given(dense_graph_strategy(), st.sampled_from([3, 4]))
+    @settings(max_examples=20)
+    def test_matches_reference(self, g, k):
+        index = EquiTrussIndex.build(g)
+        for q in list(g.vertices())[:4]:
+            expected = {c.vertices: c.edges
+                        for c in truss_communities(g, k, query=q)}
+            got = {c.vertices: c.edges for c in index.communities(q, k)}
+            assert got == expected
+
+    def test_summary_is_compressed(self, medium_graph):
+        index = EquiTrussIndex.build(medium_graph)
+        assert index.num_supernodes <= medium_graph.num_edges

@@ -1,0 +1,103 @@
+"""Tests for the CSR representation and array-based decomposition."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.triangles import triangle_count
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.csr_decomposition import (
+    csr_truss_decomposition,
+    csr_truss_decomposition_graph,
+)
+
+from tests.conftest import graph_strategy, dense_graph_strategy, complete_graph
+
+
+class TestCSRGraph:
+    def test_from_graph_counts(self, figure1):
+        csr = CSRGraph.from_graph(figure1)
+        assert csr.num_vertices == figure1.num_vertices
+        assert csr.num_edges == figure1.num_edges
+
+    def test_labels_round_trip(self, figure1):
+        csr = CSRGraph.from_graph(figure1)
+        assert csr.to_graph() == figure1
+
+    def test_ids_follow_insertion_order(self):
+        g = Graph(edges=[("b", "a"), ("a", "c")])
+        csr = CSRGraph.from_graph(g)
+        assert csr.labels == list(g.vertices())
+        assert csr.id_of("b") == 0
+
+    def test_unknown_label(self, triangle):
+        csr = CSRGraph.from_graph(triangle)
+        with pytest.raises(VertexNotFoundError):
+            csr.id_of(99)
+
+    def test_invalid_construction(self):
+        with pytest.raises(GraphError):
+            CSRGraph([0, 0], [], ["a", "a"])
+        with pytest.raises(GraphError):
+            CSRGraph([0], [], ["a"])
+
+    def test_rows_sorted(self, medium_graph):
+        csr = CSRGraph.from_graph(medium_graph)
+        for i in range(csr.num_vertices):
+            row = list(csr.neighbors_of(i))
+            assert row == sorted(row)
+
+    @given(graph_strategy())
+    def test_degree_and_edges_match(self, g):
+        csr = CSRGraph.from_graph(g)
+        for v in g.vertices():
+            assert csr.degree_of(csr.id_of(v)) == g.degree(v)
+        edges = {(csr.labels[i], csr.labels[j])
+                 for i, j in csr.iter_edge_ids()}
+        assert edges == set(g.edges())
+
+    @given(graph_strategy())
+    def test_has_edge_ids(self, g):
+        csr = CSRGraph.from_graph(g)
+        for u, v in g.edges():
+            assert csr.has_edge_ids(csr.id_of(u), csr.id_of(v))
+        for v in list(g.vertices())[:3]:
+            i = csr.id_of(v)
+            assert not csr.has_edge_ids(i, i)
+
+    @given(graph_strategy())
+    def test_common_neighbors_match(self, g):
+        csr = CSRGraph.from_graph(g)
+        for u, v in list(g.edges())[:10]:
+            i, j = csr.id_of(u), csr.id_of(v)
+            expected = {csr.id_of(w) for w in g.common_neighbors(u, v)}
+            assert set(csr.common_neighbors_ids(i, j)) == expected
+            assert csr.common_neighbor_count(i, j) == len(expected)
+
+    @given(graph_strategy())
+    def test_triangle_count_matches(self, g):
+        assert CSRGraph.from_graph(g).triangle_count() == triangle_count(g)
+
+
+class TestCSRDecomposition:
+    def test_empty(self):
+        csr = CSRGraph.from_graph(Graph(vertices=[1, 2]))
+        assert csr_truss_decomposition(csr) == {}
+
+    def test_complete_graph(self):
+        tau = csr_truss_decomposition_graph(complete_graph(6))
+        assert set(tau.values()) == {6}
+
+    def test_paper_h1(self, h1):
+        assert csr_truss_decomposition_graph(h1) == truss_decomposition(h1)
+
+    @given(graph_strategy())
+    def test_matches_hash_version(self, g):
+        assert csr_truss_decomposition_graph(g) == truss_decomposition(g)
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=25)
+    def test_matches_hash_version_dense(self, g):
+        assert csr_truss_decomposition_graph(g) == truss_decomposition(g)

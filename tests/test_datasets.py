@@ -1,0 +1,213 @@
+"""Tests for datasets: paper graphs, generators, registry, DBLP analogue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.datasets.paper import (
+    figure1_graph,
+    figure1_ego_vertices,
+    figure2_h1_graph,
+    figure18_graph,
+)
+from repro.datasets.synthetic import (
+    barabasi_albert,
+    powerlaw_cluster,
+    erdos_renyi,
+    gnm_random,
+    watts_strogatz,
+    stochastic_block_model,
+    planted_context_graph,
+    add_planted_cliques,
+    power_law_graph,
+)
+from repro.datasets.registry import (
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    paper_table1,
+)
+from repro.datasets.dblp import (
+    dblp_like_network,
+    TRUSS_HUB,
+    COMP_HUB,
+    CORE_HUB,
+)
+from repro.graph.traversal import is_connected
+
+
+class TestPaperGraphs:
+    def test_figure1_size(self):
+        g = figure1_graph()
+        assert g.num_vertices == 17  # Example 2 counts 17 vertices
+
+    def test_figure1_ego_list(self):
+        g = figure1_graph()
+        assert set(figure1_ego_vertices()) == set(g.neighbors("v"))
+        assert len(figure1_ego_vertices()) == 14
+
+    def test_h1_shape(self):
+        h1 = figure2_h1_graph()
+        assert h1.num_vertices == 8
+        assert h1.num_edges == 14
+
+    def test_figure18_shape(self):
+        g = figure18_graph()
+        assert g.num_vertices == 9
+        assert g.num_edges == 3 + 3 * 5  # triangle + three K4 completions
+
+    def test_figure18_trussness(self):
+        from repro.truss.decomposition import truss_decomposition
+        tau = truss_decomposition(figure18_graph())
+        assert set(tau.values()) == {4}
+
+
+class TestGenerators:
+    def test_ba_deterministic(self):
+        assert barabasi_albert(50, 3, seed=1) == barabasi_albert(50, 3, seed=1)
+
+    def test_ba_edge_count(self):
+        g = barabasi_albert(100, 3, seed=2)
+        # m(m+1)/2 seed-clique edges + 3 per additional vertex.
+        assert g.num_edges == 6 + 3 * (100 - 4)
+        assert g.num_vertices == 100
+
+    def test_ba_validation(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(5, 5)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(0, 1)
+
+    def test_powerlaw_cluster_triangle_rich(self):
+        from repro.graph.triangles import triangle_count
+        plain = barabasi_albert(150, 3, seed=3)
+        clustered = powerlaw_cluster(150, 3, 0.8, seed=3)
+        assert triangle_count(clustered) > triangle_count(plain)
+
+    def test_powerlaw_cluster_validation(self):
+        with pytest.raises(InvalidParameterError):
+            powerlaw_cluster(10, 2, 1.5)
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=1).num_edges == 45
+
+    def test_erdos_renyi_expected_density(self):
+        g = erdos_renyi(200, 0.05, seed=4)
+        expected = 0.05 * 199 * 100  # p * C(200, 2)
+        assert 0.6 * expected <= g.num_edges <= 1.4 * expected
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random(30, 50, seed=5)
+        assert g.num_edges == 50
+        with pytest.raises(InvalidParameterError):
+            gnm_random(4, 100)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(40, 4, 0.1, seed=6)
+        assert g.num_vertices == 40
+        assert g.num_edges >= 40  # ring edges mostly preserved
+        with pytest.raises(InvalidParameterError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_sbm_blocks_denser_inside(self):
+        g = stochastic_block_model([20, 20], 0.5, 0.02, seed=7)
+        inside = sum(1 for u, v in g.edges()
+                     if (u < 20) == (v < 20))
+        outside = g.num_edges - inside
+        assert inside > outside
+
+    def test_planted_context_graph_truth(self):
+        from repro.core.diversity import structural_diversity
+        g = planted_context_graph(num_contexts=5, context_size=4, seed=8)
+        assert structural_diversity(g, "ego", 3) == 5
+
+    def test_planted_validation(self):
+        with pytest.raises(InvalidParameterError):
+            planted_context_graph(num_contexts=0)
+
+    def test_add_planted_cliques(self):
+        base = erdos_renyi(30, 0.05, seed=9)
+        overlay = add_planted_cliques(base, [8], seed=10)
+        from repro.truss.decomposition import max_trussness
+        assert max_trussness(overlay) >= 8
+        assert base.num_edges < overlay.num_edges  # input untouched
+
+    def test_add_planted_cliques_validation(self):
+        with pytest.raises(InvalidParameterError):
+            add_planted_cliques(erdos_renyi(5, 0.1, seed=1), [10])
+
+    def test_power_law_graph_density(self):
+        g = power_law_graph(400, edges_per_vertex=5, seed=11)
+        assert 4.0 <= g.num_edges / g.num_vertices <= 5.5
+
+    @given(st.integers(20, 60), st.integers(2, 4), st.integers(0, 99))
+    @settings(max_examples=10)
+    def test_powerlaw_cluster_connected(self, n, m, seed):
+        assert is_connected(powerlaw_cluster(n, m, 0.4, seed=seed))
+
+
+class TestRegistry:
+    def test_names(self):
+        names = dataset_names()
+        assert len(names) == 8
+        assert "orkut" in names and "wiki-vote" in names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            dataset_spec("nope")
+
+    def test_load_cached(self):
+        a = load_dataset("wiki-vote")
+        b = load_dataset("wiki-vote")
+        assert a is b
+
+    def test_paper_stats_recorded(self):
+        table = paper_table1()
+        assert table["orkut"][0] == 3_100_000
+        assert len(table) == 8
+
+    def test_all_datasets_generate(self):
+        for name in dataset_names():
+            g = load_dataset(name)
+            assert g.num_vertices > 100
+            assert g.num_edges > g.num_vertices
+
+
+class TestDBLP:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return dblp_like_network(seed=7)
+
+    def test_deterministic(self):
+        assert (dblp_like_network(seed=7).num_edges
+                == dblp_like_network(seed=7).num_edges)
+
+    def test_truss_hub_wins_truss_div(self, dblp):
+        from repro.core.gct import GCTIndex
+        index = GCTIndex.build(dblp)
+        result = index.top_r(5, 1)
+        assert result.vertices == [TRUSS_HUB]
+        assert result.scores == [6]  # six research groups (Exp-10)
+
+    def test_comp_hub_wins_comp_div(self, dblp):
+        from repro.models import CompDivModel
+        result = CompDivModel().top_r(dblp, 5, 1)
+        assert result.vertices == [COMP_HUB]
+        assert result.scores == [8]  # Table 5: |SC| = 8 for Comp-Div
+
+    def test_core_hub_wins_core_div(self, dblp):
+        from repro.models import CoreDivModel
+        result = CoreDivModel().top_r(dblp, 5, 1)
+        assert result.vertices == [CORE_HUB]
+        assert result.scores == [3]  # Table 5: |SC| = 3 for Core-Div
+
+    def test_truss_hub_has_densest_ego(self, dblp):
+        """Table 5: the Truss-Div ego-network has the highest density."""
+        from repro.graph.egonet import ego_network
+        densities = {}
+        for hub in (TRUSS_HUB, COMP_HUB, CORE_HUB):
+            ego = ego_network(dblp, hub)
+            densities[hub] = ego.num_edges / ego.num_vertices
+        assert densities[TRUSS_HUB] == max(densities.values())

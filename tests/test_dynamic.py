@@ -1,0 +1,148 @@
+"""Tests for dynamic maintenance: DynamicTSDIndex and DynamicTrussIndex."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.core.dynamic import DynamicTSDIndex
+from repro.core.tsd import TSDIndex
+from repro.truss.dynamic import DynamicTrussIndex
+from repro.truss.decomposition import truss_decomposition
+
+from tests.conftest import dense_graph_strategy, random_graph
+
+
+def _assert_index_fresh(dyn: DynamicTSDIndex) -> None:
+    """The maintained index must equal a from-scratch rebuild."""
+    rebuilt = TSDIndex.build(dyn.graph)
+    for v in dyn.graph.vertices():
+        for k in (2, 3, 4, 5):
+            assert dyn.score(v, k) == rebuilt.score(v, k), (v, k)
+
+
+class TestDynamicTSD:
+    def test_insert_updates_scores(self, planted):
+        dyn = DynamicTSDIndex(planted)
+        before = dyn.score("ego", 3)
+        # Add a new clique around the ego.
+        for i in range(4):
+            dyn.insert_edge("ego", f"new_{i}")
+        for i in range(4):
+            for j in range(i + 1, 4):
+                dyn.insert_edge(f"new_{i}", f"new_{j}")
+        assert dyn.score("ego", 3) == before + 1
+
+    def test_delete_reverts(self, triangle):
+        dyn = DynamicTSDIndex(triangle)
+        dyn.insert_edge(0, 3)
+        dyn.insert_edge(1, 3)
+        dyn.insert_edge(2, 3)  # now K4
+        assert dyn.score(0, 3) == 1
+        dyn.delete_edge(2, 3)
+        _assert_index_fresh(dyn)
+
+    def test_duplicate_insert_raises(self, triangle):
+        dyn = DynamicTSDIndex(triangle)
+        with pytest.raises(GraphError):
+            dyn.insert_edge(0, 1)
+
+    def test_input_graph_not_mutated(self, triangle):
+        dyn = DynamicTSDIndex(triangle)
+        dyn.insert_edge(0, 9)
+        assert 9 not in triangle
+
+    def test_new_vertex_indexed(self, triangle):
+        dyn = DynamicTSDIndex(triangle)
+        dyn.insert_edge(0, 99)
+        assert dyn.score(99, 2) == 0
+        dyn.insert_edge(1, 99)
+        # 99's ego now holds edge (0,1): one 2-truss context.
+        assert dyn.score(99, 2) == 1
+
+    def test_rebuild_counter_locality(self):
+        """Maintenance touches only {u, v} + common neighbours."""
+        g = random_graph(30, 0.15, seed=5)
+        dyn = DynamicTSDIndex(g)
+        u, v = 0, 1
+        if dyn.graph.has_edge(u, v):
+            dyn.delete_edge(u, v)
+        common = len(g.common_neighbors(u, v))
+        before = dyn.rebuilt_vertices
+        dyn.insert_edge(u, v)
+        assert dyn.rebuilt_vertices - before <= 2 + common
+
+    @given(dense_graph_strategy(max_vertices=8),
+           st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=15)
+    def test_random_edit_sequence_stays_fresh(self, g, edits):
+        dyn = DynamicTSDIndex(g)
+        for u, v in edits:
+            if u == v:
+                continue
+            if dyn.graph.has_edge(u, v):
+                dyn.delete_edge(u, v)
+            else:
+                dyn.insert_edge(u, v)
+        _assert_index_fresh(dyn)
+
+    def test_top_r_passthrough(self, figure1):
+        dyn = DynamicTSDIndex(figure1)
+        result = dyn.top_r(4, 1)
+        assert result.vertices == ["v"]
+        assert dyn.contexts("v", 4)
+
+
+class TestDynamicTruss:
+    def test_initial_state(self, h1):
+        dyn = DynamicTrussIndex(h1)
+        assert dyn.trussness("x2", "y1") == 3
+        assert dyn.trussness("x1", "x2") == 4
+
+    def test_insert_strengthens_bridge(self, h1):
+        dyn = DynamicTrussIndex(h1)
+        # Completing more x-y triangles lifts the bridges' trussness.
+        dyn.insert_edge("x1", "y1")
+        dyn.insert_edge("x3", "y1")
+        expected = truss_decomposition(dyn.graph)
+        assert dyn.all_trussness() == expected
+
+    def test_delete_weakens(self, k4):
+        dyn = DynamicTrussIndex(k4)
+        dyn.delete_edge(0, 1)
+        expected = truss_decomposition(dyn.graph)
+        assert dyn.all_trussness() == expected
+
+    def test_duplicate_insert_raises(self, triangle):
+        dyn = DynamicTrussIndex(triangle)
+        with pytest.raises(GraphError):
+            dyn.insert_edge(0, 1)
+
+    def test_lazy_component_scoping(self):
+        """Edits in one component never trigger work in another."""
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)])
+        dyn = DynamicTrussIndex(g)
+        dyn.insert_edge(0, 3)
+        dyn.trussness(0, 3)  # refresh happens here
+        first = dyn.recomputed_edges
+        # Component {10,11,12} has 3 edges; the dirty component had 4.
+        assert first == 4
+
+    @given(dense_graph_strategy(max_vertices=8),
+           st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=15)
+    def test_random_edits_match_rebuild(self, g, edits):
+        dyn = DynamicTrussIndex(g)
+        for u, v in edits:
+            if u == v:
+                continue
+            if dyn.graph.has_edge(u, v):
+                dyn.delete_edge(u, v)
+            else:
+                dyn.insert_edge(u, v)
+        assert dyn.all_trussness() == truss_decomposition(dyn.graph)

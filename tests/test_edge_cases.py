@@ -1,0 +1,170 @@
+"""Edge cases and failure injection across module boundaries.
+
+Everything here encodes behaviour a downstream user would trip over:
+degenerate graphs, thresholds beyond any truss, unknown vertices,
+corrupted files, and non-serialisable labels.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ReproError, IndexFormatError
+from repro.graph.graph import Graph
+from repro.graph.io import read_json_graph
+from repro.core.diversity import structural_diversity, social_contexts
+from repro.core.online import online_search
+from repro.core.bound import bound_search
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.core.hybrid import HybridSearcher
+
+from tests.conftest import dense_graph_strategy, complete_graph
+
+
+class TestDegenerateGraphs:
+    def test_search_on_empty_graph(self):
+        g = Graph()
+        assert online_search(g, 3, 1).entries == []
+        assert bound_search(g, 3, 1).entries == []
+        index = TSDIndex.build(g)
+        assert index.top_r(3, 1).entries == []
+        assert GCTIndex.build(g).top_r(3, 1).entries == []
+
+    def test_search_on_edgeless_graph(self):
+        g = Graph(vertices=range(5))
+        result = online_search(g, 3, 3)
+        assert result.scores == [0, 0, 0]
+        assert bound_search(g, 3, 3).scores == [0, 0, 0]
+        assert TSDIndex.build(g).top_r(3, 3).scores == [0, 0, 0]
+
+    def test_single_vertex(self):
+        g = Graph(vertices=["only"])
+        assert structural_diversity(g, "only", 2) == 0
+        assert TSDIndex.build(g).score("only", 2) == 0
+
+    def test_two_vertices_one_edge(self):
+        g = Graph(edges=[(0, 1)])
+        # Each ego-network is a single isolated vertex: no contexts.
+        assert structural_diversity(g, 0, 2) == 0
+        assert GCTIndex.build(g).score(0, 2) == 0
+
+    def test_star_graph_center(self):
+        g = Graph(edges=[("hub", i) for i in range(6)])
+        # The hub's ego is edgeless: zero diversity at every k.
+        for k in (2, 3, 4):
+            assert structural_diversity(g, "hub", k) == 0
+
+    def test_hybrid_on_triangle_free_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        hybrid = HybridSearcher.precompute(g)
+        assert hybrid.top_r(3, 2).scores == [0, 0]
+
+
+class TestExtremeThresholds:
+    def test_k_far_beyond_max(self, figure1):
+        assert structural_diversity(figure1, "v", 1000) == 0
+        assert social_contexts(figure1, "v", 1000) == []
+        index = TSDIndex.build(figure1)
+        assert index.score("v", 1000) == 0
+        assert index.upper_bound("v", 1000) == 0
+        assert GCTIndex.build(figure1).score("v", 1000) == 0
+
+    def test_top_r_at_extreme_k_returns_zeros(self, figure1):
+        result = TSDIndex.build(figure1).top_r(1000, 3)
+        assert result.scores == [0, 0, 0]
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=15)
+    def test_score_zero_stabilises(self, g):
+        """Once the score hits 0 it stays 0 for all larger k."""
+        index = GCTIndex.build(g)
+        for v in list(g.vertices())[:4]:
+            hit_zero = False
+            for k in range(2, 12):
+                s = index.score(v, k)
+                if hit_zero:
+                    assert s == 0
+                hit_zero = hit_zero or s == 0
+
+
+class TestUnknownVertices:
+    def test_index_score_unknown_vertex(self, triangle):
+        index = TSDIndex.build(triangle)
+        with pytest.raises(KeyError):
+            index.score("ghost", 3)
+
+    def test_gct_unknown_vertex(self, triangle):
+        index = GCTIndex.build(triangle)
+        with pytest.raises(KeyError):
+            index.score("ghost", 3)
+
+    def test_contains_protocol(self, triangle):
+        assert 0 in TSDIndex.build(triangle)
+        assert "ghost" not in TSDIndex.build(triangle)
+        assert 0 in GCTIndex.build(triangle)
+
+
+class TestBatchAPIs:
+    def test_scores_for_all_matches_pointwise(self, figure1):
+        tsd = TSDIndex.build(figure1)
+        gct = GCTIndex.build(figure1)
+        for k in (2, 3, 4, 5):
+            tsd_all = tsd.scores_for_all(k)
+            gct_all = gct.scores_for_all(k)
+            assert tsd_all == gct_all
+            assert set(tsd_all) == set(figure1.vertices())
+            for v in figure1.vertices():
+                assert tsd_all[v] == tsd.score(v, k)
+
+    def test_scores_for_all_validates_k(self, triangle):
+        with pytest.raises(ReproError):
+            TSDIndex.build(triangle).scores_for_all(1)
+
+
+class TestCorruptedFiles:
+    def test_truncated_json_graph(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"format": "repro-graph", "version": 1')
+        with pytest.raises(json.JSONDecodeError):
+            read_json_graph(path)
+
+    def test_index_missing_fields(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        with pytest.raises(IndexFormatError):
+            TSDIndex.load(path)
+        with pytest.raises(IndexFormatError):
+            GCTIndex.load(path)
+
+    def test_index_save_requires_json_labels(self, tmp_path):
+        g = Graph(edges=[(frozenset([1]), frozenset([2]))])
+        index = TSDIndex.build(g)
+        with pytest.raises(TypeError):
+            index.save(tmp_path / "bad.json")
+
+
+class TestCompleteGraphFamily:
+    """K_n is the worst case for density-sensitive code paths."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_scores_on_complete_graphs(self, n):
+        g = complete_graph(n)
+        # Every ego is K_{n-1}: exactly one context for 2 <= k <= n-1.
+        index = GCTIndex.build(g)
+        for v in g.vertices():
+            for k in range(2, n):
+                assert index.score(v, k) == 1
+            assert index.score(v, n) == 0
+
+    def test_all_methods_on_k8(self):
+        g = complete_graph(8)
+        results = [
+            online_search(g, 4, 2),
+            bound_search(g, 4, 2),
+            TSDIndex.build(g).top_r(4, 2),
+            GCTIndex.build(g).top_r(4, 2),
+        ]
+        for result in results:
+            assert result.scores == [1, 1], result.method

@@ -1,0 +1,77 @@
+"""Tests for ego-network extraction (Definition 1 and Algorithm 7 lines 1-4)."""
+
+from hypothesis import given
+
+from repro.graph.graph import Graph
+from repro.graph.egonet import (
+    ego_network,
+    ego_edge_count,
+    all_ego_networks,
+    iter_ego_edge_lists,
+)
+
+from tests.conftest import graph_strategy, complete_graph
+
+
+class TestEgoNetwork:
+    def test_excludes_center(self, figure1):
+        ego = ego_network(figure1, "v")
+        assert "v" not in ego
+
+    def test_paper_example_vertices(self, figure1):
+        ego = ego_network(figure1, "v")
+        assert set(ego.vertices()) == {
+            "x1", "x2", "x3", "x4", "y1", "y2", "y3", "y4",
+            "r1", "r2", "r3", "r4", "r5", "r6"}
+
+    def test_paper_example_edges(self, figure1):
+        ego = ego_network(figure1, "v")
+        # 6 + 6 + 2 edges in H1, 12 in the octahedron H2.
+        assert ego.num_edges == 26
+        assert ego.has_edge("x2", "y1")
+        assert not ego.has_edge("x1", "s1")  # s1 is outside the ego
+
+    def test_isolated_neighbors_kept(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        ego = ego_network(g, 0)
+        assert set(ego.vertices()) == {1, 2}
+        assert ego.num_edges == 0
+
+    def test_complete_graph_ego(self):
+        ego = ego_network(complete_graph(5), 0)
+        assert ego.num_vertices == 4
+        assert ego.num_edges == 6
+
+    @given(graph_strategy())
+    def test_ego_is_induced_subgraph(self, g):
+        for v in list(g.vertices())[:5]:
+            ego = ego_network(g, v)
+            assert set(ego.vertices()) == set(g.neighbors(v))
+            assert ego == g.induced_subgraph(g.neighbors(v))
+
+    @given(graph_strategy())
+    def test_ego_edge_count_matches(self, g):
+        for v in list(g.vertices())[:5]:
+            assert ego_edge_count(g, v) == ego_network(g, v).num_edges
+
+
+class TestGlobalExtraction:
+    @given(graph_strategy())
+    def test_all_ego_networks_match_per_vertex(self, g):
+        egos = all_ego_networks(g)
+        assert set(egos) == set(g.vertices())
+        for v in g.vertices():
+            assert egos[v] == ego_network(g, v)
+
+    @given(graph_strategy())
+    def test_edge_lists_match(self, g):
+        for v, edges in iter_ego_edge_lists(g):
+            direct = ego_network(g, v)
+            assert len(edges) == direct.num_edges
+            for u, w in edges:
+                assert direct.has_edge(u, w)
+
+    def test_total_ego_edges_is_three_triangles(self, figure1):
+        from repro.graph.triangles import triangle_count
+        total = sum(len(edges) for _, edges in iter_ego_edge_lists(figure1))
+        assert total == 3 * triangle_count(figure1)

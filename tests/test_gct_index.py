@@ -1,0 +1,150 @@
+"""Tests for the GCT-index (Section 6): assembly, Lemma 3, compression."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexFormatError, InvalidParameterError
+from repro.graph.graph import Graph
+from repro.core.diversity import structural_diversity, social_contexts
+from repro.core.gct import GCTIndex, assemble_gct
+from repro.core.tsd import TSDIndex
+
+from tests.conftest import dense_graph_strategy
+
+
+class TestAssembleGCT:
+    def test_empty(self):
+        supernodes, superedges = assemble_gct([], [])
+        assert supernodes == [] and superedges == []
+
+    def test_isolated_vertices_dropped(self):
+        supernodes, superedges = assemble_gct(["a", "b"], [])
+        assert supernodes == []
+
+    def test_single_level_merges(self):
+        # A triangle: all edges trussness 3 -> one supernode, no superedges.
+        edges = [(("a", "b"), 3), (("b", "c"), 3), (("a", "c"), 3)]
+        supernodes, superedges = assemble_gct("abc", edges)
+        assert len(supernodes) == 1
+        assert supernodes[0][0] == 3
+        assert set(supernodes[0][1]) == {"a", "b", "c"}
+        assert superedges == []
+
+    def test_two_levels_superedge(self):
+        # Two groups at trussness 4 joined by a weight-3 edge.
+        edges = ([(("a", "b"), 4), (("c", "d"), 4), (("b", "c"), 3)])
+        supernodes, superedges = assemble_gct("abcd", edges)
+        assert len(supernodes) == 2
+        assert len(superedges) == 1
+        assert superedges[0][2] == 3
+
+
+class TestPaperFigure7:
+    def test_gct_of_v(self, figure1):
+        """Figure 7(b): three supernodes of trussness 4, one weight-3
+        superedge between the x-group and the y-group."""
+        index = GCTIndex.build(figure1)
+        nodes = index.supernodes("v")
+        assert sorted(tau for tau, _ in nodes) == [4, 4, 4]
+        member_sets = {frozenset(m) for _, m in nodes}
+        assert member_sets == {
+            frozenset({"x1", "x2", "x3", "x4"}),
+            frozenset({"y1", "y2", "y3", "y4"}),
+            frozenset({"r1", "r2", "r3", "r4", "r5", "r6"})}
+        edges = index.superedges("v")
+        assert len(edges) == 1
+        i, j, w = edges[0]
+        assert w == 3
+        linked = {frozenset(nodes[i][1]), frozenset(nodes[j][1])}
+        assert linked == {
+            frozenset({"x1", "x2", "x3", "x4"}),
+            frozenset({"y1", "y2", "y3", "y4"})}
+
+    def test_lemma3_on_example(self, figure1):
+        index = GCTIndex.build(figure1)
+        # k=4: N=3, M=0 -> 3.   k=3: N=3, M=1 -> 2.
+        assert index.score("v", 4) == 3
+        assert index.score("v", 3) == 2
+        assert index.score("v", 5) == 0
+
+
+class TestLemma3:
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4, 5]))
+    @settings(max_examples=30)
+    def test_score_matches_algorithm2(self, g, k):
+        index = GCTIndex.build(g)
+        for v in list(g.vertices())[:6]:
+            assert index.score(v, k) == structural_diversity(g, v, k)
+
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=20)
+    def test_contexts_match_algorithm2(self, g, k):
+        index = GCTIndex.build(g)
+        for v in list(g.vertices())[:5]:
+            ours = {frozenset(c) for c in index.contexts(v, k)}
+            direct = {frozenset(c) for c in social_contexts(g, v, k)}
+            assert ours == direct
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_profile_consistent(self, g):
+        index = GCTIndex.build(g)
+        for v in list(g.vertices())[:5]:
+            profile = index.score_profile(v)
+            for k in range(2, 9):
+                assert profile.get(k, 0) == index.score(v, k)
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_superedges_form_forest_per_threshold(self, g):
+        """Lemma 3's proof: superedges of weight >= k never close a
+        cycle among supernodes of trussness >= k."""
+        index = GCTIndex.build(g)
+        from repro.util.dsu import DisjointSet
+        for v in list(g.vertices())[:4]:
+            for k in (2, 3, 4):
+                dsu = DisjointSet(range(len(index.supernodes(v))))
+                for i, j, w in index.superedges(v):
+                    if w >= k:
+                        assert dsu.union(i, j), "superedge closed a cycle"
+
+
+class TestCompression:
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_compress_equals_build(self, g):
+        """GCT from TSD forests answers identically to GCT from scratch."""
+        built = GCTIndex.build(g)
+        compressed = GCTIndex.compress(TSDIndex.build(g))
+        for v in list(g.vertices())[:6]:
+            for k in (2, 3, 4, 5):
+                assert compressed.score(v, k) == built.score(v, k)
+
+    def test_compressed_smaller_than_tsd(self, medium_graph):
+        tsd = TSDIndex.build(medium_graph)
+        gct = GCTIndex.compress(tsd)
+        assert gct.payload_slots() <= tsd.payload_slots()
+
+
+class TestPersistence:
+    def test_round_trip(self, figure1, tmp_path):
+        index = GCTIndex.build(figure1)
+        path = tmp_path / "gct.json"
+        index.save(path)
+        loaded = GCTIndex.load(path)
+        assert loaded.vertices == index.vertices
+        for v in figure1.vertices():
+            for k in (2, 3, 4, 5):
+                assert loaded.score(v, k) == index.score(v, k)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "nope", "version": 1}')
+        with pytest.raises(IndexFormatError):
+            GCTIndex.load(path)
+
+    def test_invalid_k(self, figure1):
+        index = GCTIndex.build(figure1)
+        with pytest.raises(InvalidParameterError):
+            index.score("v", 0)

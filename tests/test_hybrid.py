@@ -1,0 +1,64 @@
+"""Tests for the Hybrid method (Exp-4 competitor)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.core.hybrid import HybridSearcher
+from repro.core.online import online_search
+from repro.core.diversity import structural_diversity
+
+from tests.conftest import dense_graph_strategy
+
+
+class TestHybrid:
+    def test_paper_example(self, figure1):
+        hybrid = HybridSearcher.precompute(figure1)
+        result = hybrid.top_r(4, 1)
+        assert result.vertices == ["v"]
+        assert result.scores == [3]
+        assert result.method == "hybrid"
+
+    def test_contexts_computed_online(self, figure1):
+        hybrid = HybridSearcher.precompute(figure1)
+        result = hybrid.top_r(4, 1)
+        assert len(result.entries[0].contexts) == 3
+
+    def test_search_space_is_r(self, figure1):
+        """Hybrid's cost driver: one online context pass per answer."""
+        hybrid = HybridSearcher.precompute(figure1)
+        assert hybrid.top_r(4, 1).search_space == 1
+        assert hybrid.top_r(2, 5).search_space == 5
+
+    def test_k_above_max_returns_zeros(self, figure1):
+        hybrid = HybridSearcher.precompute(figure1)
+        result = hybrid.top_r(99, 3)
+        assert result.scores == [0, 0, 0]
+
+    def test_max_k(self, figure1):
+        hybrid = HybridSearcher.precompute(figure1)
+        assert hybrid.max_k == 4
+
+    def test_validation(self, figure1):
+        hybrid = HybridSearcher.precompute(figure1)
+        with pytest.raises(InvalidParameterError):
+            hybrid.top_r(1, 1)
+        with pytest.raises(InvalidParameterError):
+            hybrid.top_r(3, 0)
+
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4]),
+           st.sampled_from([1, 3, 6]))
+    @settings(max_examples=20)
+    def test_matches_baseline_scores(self, g, k, r):
+        hybrid = HybridSearcher.precompute(g)
+        expected = sorted(online_search(g, k, r).scores, reverse=True)
+        got = sorted(hybrid.top_r(k, r).scores, reverse=True)
+        assert got == expected
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=15)
+    def test_claimed_scores_correct(self, g):
+        hybrid = HybridSearcher.precompute(g)
+        for entry in hybrid.top_r(3, 4).entries:
+            assert entry.score == structural_diversity(g, entry.vertex, 3)

@@ -1,0 +1,212 @@
+"""Tests for the influence package: IC simulation, seeds, contagion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.influence.ic import (
+    simulate_cascade,
+    monte_carlo_spread,
+    activation_probabilities,
+    activation_rounds,
+)
+from repro.influence.seeds import (
+    top_degree_seeds,
+    degree_discount_seeds,
+    ris_seeds,
+    celf_seeds,
+)
+from repro.influence.contagion import (
+    partition_by_score,
+    activation_rate_by_score_group,
+    activated_among_targets,
+    latency_curve,
+    center_activation_probability,
+)
+
+from tests.conftest import dense_graph_strategy, complete_graph
+
+
+class TestSimulateCascade:
+    def test_seeds_active_at_round_zero(self, figure1):
+        rng = random.Random(0)
+        active = simulate_cascade(figure1, ["v"], 0.0, rng)
+        assert active == {"v": 0}
+
+    def test_probability_one_floods_component(self, figure1):
+        rng = random.Random(0)
+        active = simulate_cascade(figure1, ["v"], 1.0, rng)
+        assert set(active) == set(figure1.vertices())
+
+    def test_rounds_are_bfs_layers_at_p1(self, path4):
+        rng = random.Random(0)
+        active = simulate_cascade(path4, [0], 1.0, rng)
+        assert active == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_deterministic_given_seeded_rng(self, medium_graph):
+        a = simulate_cascade(medium_graph, [0, 1], 0.2, random.Random(5))
+        b = simulate_cascade(medium_graph, [0, 1], 0.2, random.Random(5))
+        assert a == b
+
+    def test_unknown_seeds_ignored(self, triangle):
+        active = simulate_cascade(triangle, [99], 1.0, random.Random(0))
+        assert active == {}
+
+    def test_invalid_probability(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            simulate_cascade(triangle, [0], 1.5, random.Random(0))
+
+    @given(dense_graph_strategy(), st.sampled_from([0.0, 0.3, 1.0]))
+    @settings(max_examples=15)
+    def test_cascade_contained_in_component(self, g, p):
+        from repro.graph.traversal import bfs_order
+        vertices = list(g.vertices())
+        seed_vertex = vertices[0]
+        active = simulate_cascade(g, [seed_vertex], p, random.Random(1))
+        reachable = set(bfs_order(g, seed_vertex))
+        assert set(active) <= reachable
+
+
+class TestEstimators:
+    def test_spread_bounds(self, medium_graph):
+        spread = monte_carlo_spread(medium_graph, [0], 0.1, runs=50, seed=1)
+        assert 1.0 <= spread <= medium_graph.num_vertices
+
+    def test_spread_monotone_in_p(self, medium_graph):
+        low = monte_carlo_spread(medium_graph, [0], 0.02, runs=80, seed=1)
+        high = monte_carlo_spread(medium_graph, [0], 0.5, runs=80, seed=1)
+        assert high >= low
+
+    def test_activation_probabilities_range(self, medium_graph):
+        probs = activation_probabilities(medium_graph, [0, 1], 0.1,
+                                         runs=40, seed=2)
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+        assert probs[0] == 1.0  # a seed is always active
+
+    def test_runs_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            monte_carlo_spread(triangle, [0], 0.1, runs=0)
+
+    def test_activation_rounds_sorted(self, medium_graph):
+        per_run = activation_rounds(medium_graph, [0], 0.3,
+                                    targets=list(medium_graph.vertices())[:20],
+                                    runs=10, seed=3)
+        assert len(per_run) == 10
+        for rounds in per_run:
+            assert rounds == sorted(rounds)
+
+
+class TestSeedSelectors:
+    def test_top_degree(self, figure1):
+        seeds = top_degree_seeds(figure1, 1)
+        assert seeds == ["v"]  # degree 14, the maximum
+
+    def test_top_degree_count(self, medium_graph):
+        assert len(top_degree_seeds(medium_graph, 7)) == 7
+
+    def test_degree_discount_distinct(self, medium_graph):
+        seeds = degree_discount_seeds(medium_graph, 10, 0.05)
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_ris_deterministic(self, medium_graph):
+        a = ris_seeds(medium_graph, 5, 0.1, num_samples=200, seed=4)
+        b = ris_seeds(medium_graph, 5, 0.1, num_samples=200, seed=4)
+        assert a == b
+        assert len(a) == 5
+
+    def test_ris_finds_hub(self):
+        """A star center must be the first RIS seed."""
+        g = Graph(edges=[(0, i) for i in range(1, 30)])
+        seeds = ris_seeds(g, 1, 0.3, num_samples=400, seed=0)
+        assert seeds == [0]
+
+    def test_celf_small_graph(self):
+        g = complete_graph(5)
+        seeds = celf_seeds(g, 2, 0.2, runs=30, seed=0)
+        assert len(seeds) == 2
+
+    def test_selectors_beat_nothing(self, medium_graph):
+        """Chosen seeds spread at least as far as themselves (sanity)."""
+        seeds = degree_discount_seeds(medium_graph, 5, 0.05)
+        spread = monte_carlo_spread(medium_graph, seeds, 0.05, runs=40, seed=1)
+        assert spread >= 5.0
+
+    def test_count_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            top_degree_seeds(triangle, -1)
+        with pytest.raises(InvalidParameterError):
+            ris_seeds(triangle, -1, 0.1)
+
+
+class TestContagionDrivers:
+    def test_partition_by_score_groups(self):
+        scores = {i: i for i in range(1, 21)}
+        groups = partition_by_score(scores, num_groups=4)
+        assert len(groups) == 4
+        assert sum(len(g) for g in groups) == 20
+        # Groups ordered low to high.
+        firsts = [min(scores[v] for v in g) for g in groups]
+        assert firsts == sorted(firsts)
+
+    def test_partition_excludes_zero_scores(self):
+        scores = {1: 0, 2: 3, 3: 5}
+        groups = partition_by_score(scores, num_groups=2)
+        flat = [v for g in groups for v in g]
+        assert 1 not in flat
+
+    def test_partition_empty(self):
+        assert partition_by_score({1: 0}, 4) == []
+
+    def test_partition_never_splits_ties(self):
+        """Vertices with equal scores stay in one group, even when that
+        collapses the group count (paper-style score intervals)."""
+        scores = {i: 1 for i in range(50)}
+        scores.update({100 + i: 7 for i in range(3)})
+        groups = partition_by_score(scores, num_groups=4)
+        assert len(groups) == 2
+        assert {scores[v] for v in groups[0]} == {1}
+        assert {scores[v] for v in groups[1]} == {7}
+
+    def test_partition_single_value(self):
+        groups = partition_by_score({i: 3 for i in range(10)}, 4)
+        assert len(groups) == 1
+        assert len(groups[0]) == 10
+
+    def test_activation_rate_by_group(self, medium_graph):
+        scores = {v: medium_graph.degree(v) for v in medium_graph.vertices()}
+        seeds = top_degree_seeds(medium_graph, 5)
+        rates = activation_rate_by_score_group(
+            medium_graph, scores, seeds, p=0.15, num_groups=4,
+            runs=30, seed=0)
+        assert len(rates) == 4
+        assert all(0.0 <= r.activated_rate <= 1.0 for r in rates)
+        assert all(r.low <= r.high for r in rates)
+
+    def test_activated_among_targets_bounds(self, medium_graph):
+        targets = list(medium_graph.vertices())[:10]
+        value = activated_among_targets(medium_graph, targets, [0], 0.2,
+                                        runs=30, seed=0)
+        assert 0.0 <= value <= 10.0
+
+    def test_latency_curve_monotone(self, medium_graph):
+        targets = list(medium_graph.vertices())[:30]
+        curve = latency_curve(medium_graph, targets, [0, 1, 2], 0.3,
+                              runs=30, seed=0)
+        xs = [x for x, _ in curve]
+        rounds = [r for _, r in curve]
+        assert xs == sorted(xs)
+        assert rounds == sorted(rounds)  # more activations need >= rounds
+
+    def test_center_activation_probability(self, figure1):
+        p = center_activation_probability(figure1, "v", 0.3,
+                                          num_seeds=5, runs=100, seed=0)
+        assert 0.0 < p <= 1.0
+
+    def test_center_probability_isolated(self):
+        g = Graph(edges=[(0, 1)], vertices=[9])
+        assert center_activation_probability(g, 9, 0.5) == 0.0

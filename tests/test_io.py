@@ -1,0 +1,126 @@
+"""Tests for graph IO and the GraphBuilder."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    iter_edge_list,
+    read_json_graph,
+    write_json_graph,
+    edges_from_pairs,
+)
+
+
+class TestBuilder:
+    def test_dedup_and_loops(self):
+        b = GraphBuilder()
+        assert b.add_edge(1, 2) is True
+        assert b.add_edge(2, 1) is False
+        assert b.add_edge(3, 3) is False
+        assert b.build().num_edges == 1
+
+    def test_add_edges_count(self):
+        b = GraphBuilder()
+        added = b.add_edges([(1, 2), (2, 3), (1, 2), (4, 4)])
+        assert added == 2
+        assert b.num_edges == 2
+
+    def test_has_edge(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y")
+        assert b.has_edge("y", "x")
+        assert not b.has_edge("x", "z")
+
+    def test_isolated_vertices_survive(self):
+        g = GraphBuilder().add_vertices([1, 2, 3]).build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_chaining(self):
+        g = GraphBuilder().add_vertex(0).add_vertices([1, 2]).build()
+        assert g.num_vertices == 3
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path, figure1):
+        # Integer-label round trip via a relabelled copy.
+        relabel = {v: i for i, v in enumerate(figure1.vertices())}
+        g = Graph(edges=[(relabel[u], relabel[v]) for u, v in figure1.edges()])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_snap_format_with_comments(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph (each unordered pair of nodes is saved once)\n"
+            "# Nodes: 4 Edges: 3\n"
+            "0\t1\n"
+            "1\t2\n"
+            "2\t0\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_directed_input_symmetrised(self, tmp_path):
+        path = tmp_path / "dir.txt"
+        path.write_text("0 1\n1 0\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justonefield\n")
+        with pytest.raises(ReproError):
+            read_edge_list(path)
+
+    def test_custom_vertex_type(self, tmp_path):
+        path = tmp_path / "names.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = read_edge_list(path, vertex_type=str)
+        assert g.has_edge("alice", "bob")
+
+    def test_iter_streams(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("# header\n1 2\n3 4\n")
+        pairs = list(iter_edge_list(path))
+        assert pairs == [(1, 2), (3, 4)]
+
+
+class TestJsonIO:
+    def test_round_trip_arbitrary_labels(self, tmp_path):
+        g = Graph(edges=[("a", "b"), ("b", "c")], vertices=["isolated"])
+        path = tmp_path / "graph.json"
+        write_json_graph(g, path)
+        loaded = read_json_graph(path)
+        assert loaded == g
+        # Canonical edges survive because insertion order is preserved.
+        assert list(loaded.vertices()) == list(g.vertices())
+
+    def test_rejects_other_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "unrelated"}')
+        with pytest.raises(ReproError):
+            read_json_graph(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "versioned.json"
+        path.write_text('{"format": "repro-graph", "version": 99,'
+                        ' "vertices": [], "edges": []}')
+        with pytest.raises(ReproError):
+            read_json_graph(path)
+
+
+class TestEdgesFromPairs:
+    def test_basic(self):
+        g = edges_from_pairs([(1, 2), (2, 2), (2, 1), (3, 4)])
+        assert g.num_edges == 2

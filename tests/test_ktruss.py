@@ -1,0 +1,96 @@
+"""Tests for k-truss extraction and maximal connected k-trusses."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.truss.decomposition import truss_decomposition
+from repro.truss.ktruss import (
+    k_truss_edges,
+    k_truss_subgraph,
+    maximal_connected_k_trusses,
+    count_maximal_connected_k_trusses,
+    is_k_truss,
+)
+
+from tests.conftest import graph_strategy, complete_graph
+from tests.helpers import nx_ktruss_edges
+
+
+class TestKTrussSubgraph:
+    def test_invalid_k(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            k_truss_subgraph(triangle, 1)
+
+    def test_k2_is_whole_graph(self, figure1):
+        sub = k_truss_subgraph(figure1, 2)
+        assert sub.num_edges == figure1.num_edges
+
+    def test_k_above_max_is_empty(self, triangle):
+        assert k_truss_subgraph(triangle, 4).num_edges == 0
+
+    def test_h1_4truss_splits(self, h1):
+        sub = k_truss_subgraph(h1, 4)
+        assert sub.num_edges == 12
+        assert not sub.has_edge("x2", "y1")
+
+    @given(graph_strategy())
+    def test_matches_networkx(self, g):
+        tau = truss_decomposition(g)
+        for k in (3, 4, 5):
+            ours = {frozenset(e) for e in k_truss_edges(tau, k)}
+            assert ours == nx_ktruss_edges(g, k)
+
+    @given(graph_strategy())
+    def test_nested(self, g):
+        """(k+1)-truss is a subgraph of the k-truss."""
+        tau = truss_decomposition(g)
+        for k in (2, 3, 4):
+            higher = set(k_truss_edges(tau, k + 1))
+            lower = set(k_truss_edges(tau, k))
+            assert higher <= lower
+
+    @given(graph_strategy())
+    def test_ktruss_is_ktruss(self, g):
+        """The k-truss satisfies its own defining predicate."""
+        tau = truss_decomposition(g)
+        for k in (3, 4):
+            sub = k_truss_subgraph(g, k, tau)
+            assert is_k_truss(sub, k)
+
+
+class TestMaximalConnected:
+    def test_paper_h1(self, h1):
+        trusses = maximal_connected_k_trusses(h1, 4)
+        as_sets = {frozenset(t) for t in trusses}
+        assert as_sets == {
+            frozenset({"x1", "x2", "x3", "x4"}),
+            frozenset({"y1", "y2", "y3", "y4"})}
+
+    def test_h1_at_3_is_one(self, h1):
+        assert count_maximal_connected_k_trusses(h1, 3) == 1
+
+    def test_count_matches_list(self, figure1):
+        for k in (2, 3, 4, 5):
+            assert (count_maximal_connected_k_trusses(figure1, k)
+                    == len(maximal_connected_k_trusses(figure1, k)))
+
+    def test_empty_graph(self):
+        assert maximal_connected_k_trusses(Graph(), 3) == []
+
+    @given(graph_strategy())
+    def test_each_component_at_least_k_vertices(self, g):
+        """A maximal connected k-truss spans at least k vertices
+        (the fact behind the Lemma 2 bound)."""
+        for k in (3, 4):
+            for component in maximal_connected_k_trusses(g, k):
+                assert len(component) >= k
+
+    def test_is_k_truss_validation(self, triangle, path4):
+        assert is_k_truss(triangle, 3)
+        assert not is_k_truss(triangle, 4)
+        assert is_k_truss(path4, 2)
+        assert not is_k_truss(path4, 3)
+        assert is_k_truss(Graph(), 5)
+        assert is_k_truss(complete_graph(6), 6)

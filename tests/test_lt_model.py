@@ -1,0 +1,82 @@
+"""Tests for the Linear Threshold diffusion model."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.influence.lt import (
+    simulate_lt_cascade,
+    lt_activation_probabilities,
+    lt_monte_carlo_spread,
+)
+
+from tests.conftest import complete_graph
+
+
+class TestSimulateLT:
+    def test_seeds_at_round_zero(self, figure1):
+        rng = random.Random(0)
+        active = simulate_lt_cascade(figure1, ["v"], rng)
+        assert active["v"] == 0
+
+    def test_deterministic_with_seeded_rng(self, medium_graph):
+        a = simulate_lt_cascade(medium_graph, [0, 1], random.Random(3))
+        b = simulate_lt_cascade(medium_graph, [0, 1], random.Random(3))
+        assert a == b
+
+    def test_unknown_seeds_ignored(self, triangle):
+        assert simulate_lt_cascade(triangle, [99], random.Random(0)) == {}
+
+    def test_fully_seeded_neighborhood_activates(self):
+        """A vertex whose every neighbour is a seed has active weight 1,
+        which meets any threshold drawn from [0, 1)."""
+        g = Graph(edges=[(0, 2), (1, 2)])
+        for seed in range(10):
+            active = simulate_lt_cascade(g, [0, 1], random.Random(seed))
+            assert 2 in active
+
+    def test_monotone_in_seed_set(self, medium_graph):
+        """More seeds never shrink the cascade (LT is monotone) when the
+        same thresholds are drawn — approximate check via spreads."""
+        small = lt_monte_carlo_spread(medium_graph, [0], runs=100, seed=1)
+        large = lt_monte_carlo_spread(medium_graph, [0, 1, 2, 3], runs=100,
+                                      seed=1)
+        assert large >= small
+
+    def test_cascade_within_component(self):
+        g = Graph(edges=[(0, 1), (5, 6)])
+        active = simulate_lt_cascade(g, [0], random.Random(2))
+        assert 5 not in active and 6 not in active
+
+    def test_rounds_increase_from_seeds(self, medium_graph):
+        active = simulate_lt_cascade(medium_graph, [0], random.Random(7))
+        assert all(r >= 0 for r in active.values())
+        non_seed_rounds = [r for v, r in active.items() if v != 0]
+        assert all(r >= 1 for r in non_seed_rounds)
+
+
+class TestEstimators:
+    def test_probabilities_range(self, medium_graph):
+        targets = list(medium_graph.vertices())[:20]
+        probs = lt_activation_probabilities(medium_graph, [0, 1], targets,
+                                            runs=50, seed=1)
+        assert set(probs) == set(targets)
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+    def test_seed_probability_is_one(self, medium_graph):
+        probs = lt_activation_probabilities(medium_graph, [0], [0],
+                                            runs=20, seed=1)
+        assert probs[0] == 1.0
+
+    def test_spread_bounds(self):
+        g = complete_graph(8)
+        spread = lt_monte_carlo_spread(g, [0], runs=100, seed=1)
+        assert 1.0 <= spread <= 8.0
+
+    def test_runs_validation(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            lt_monte_carlo_spread(triangle, [0], runs=0)
+        with pytest.raises(InvalidParameterError):
+            lt_activation_probabilities(triangle, [0], [1], runs=0)

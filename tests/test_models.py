@@ -1,0 +1,165 @@
+"""Tests for the diversity-model baselines (Comp-Div, Core-Div, Random)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.traversal import connected_components
+from repro.models import (
+    CompDivModel,
+    CoreDivModel,
+    TrussDivModel,
+    RandomModel,
+    component_scores,
+)
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.datasets.synthetic import planted_context_graph
+
+from tests.conftest import dense_graph_strategy
+
+
+class TestCompDiv:
+    def test_motivating_example(self, figure1):
+        """Section 1: Comp-Div cannot split H1 — it sees 2 contexts
+        (H1 as one component + the r-octahedron) for any feasible k."""
+        model = CompDivModel()
+        assert model.vertex_score(figure1, "v", 4) == 2
+        assert model.vertex_score(figure1, "v", 6) == 2
+        # Adjusting k never decomposes H1 further; it only drops whole
+        # contexts (H2 has 6 vertices, H1 has 8).
+        assert model.vertex_score(figure1, "v", 8) == 1
+        assert model.vertex_score(figure1, "v", 9) == 0
+
+    def test_size_filter(self, figure1):
+        model = CompDivModel()
+        # H1 has 8 vertices, H2 has 6: at k=7 only H1 qualifies.
+        assert model.vertex_score(figure1, "v", 7) == 1
+
+    def test_invalid_k(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            CompDivModel().vertex_contexts(figure1, "v", 0)
+
+    @given(dense_graph_strategy(), st.sampled_from([1, 2, 3]))
+    @settings(max_examples=20)
+    def test_contexts_are_ego_components(self, g, k):
+        model = CompDivModel()
+        for v in list(g.vertices())[:5]:
+            expected = [c for c in connected_components(g, g.neighbors(v))
+                        if len(c) >= k]
+            got = model.vertex_contexts(g, v, k)
+            assert {frozenset(c) for c in got} == {frozenset(c) for c in expected}
+
+    @given(dense_graph_strategy(), st.sampled_from([1, 2, 3]))
+    @settings(max_examples=20)
+    def test_scalable_pass_matches_per_vertex(self, g, k):
+        """component_scores (one triangle pass) == naive per-vertex."""
+        model = CompDivModel()
+        fast = component_scores(g, k)
+        for v in g.vertices():
+            assert fast[v] == model.vertex_score(g, v, k)
+
+
+class TestCoreDiv:
+    def test_motivating_example(self, figure1):
+        """Section 1: for k <= 3, H1 is one k-core; for k >= 4 it is
+        no longer a feasible context."""
+        model = CoreDivModel()
+        assert model.vertex_score(figure1, "v", 3) == 2  # H1 + octahedron
+        # At k=4: H1 vanishes; the octahedron is 4-regular -> one 4-core.
+        assert model.vertex_score(figure1, "v", 4) == 1
+
+    def test_invalid_k(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            CoreDivModel().vertex_contexts(figure1, "v", 0)
+
+    def test_planted_without_bridges(self):
+        g = planted_context_graph(num_contexts=3, context_size=6,
+                                  num_bridges=0, seed=4)
+        # Disconnected K6 cliques are separate maximal 5-cores.
+        assert CoreDivModel().vertex_score(g, "ego", 5) == 3
+        assert CoreDivModel().vertex_score(g, "ego", 6) == 0
+
+    def test_bridges_collapse_cores_but_not_trusses(self):
+        """The paper's decomposability claim, distilled: single bridge
+        edges keep every vertex's degree >= 5, so the chained cliques
+        form ONE maximal 5-core — while Truss-Div still sees three
+        separate 5-trusses (bridges have ego trussness 2)."""
+        g = planted_context_graph(num_contexts=3, context_size=6,
+                                  num_bridges=1, seed=4)
+        assert CoreDivModel().vertex_score(g, "ego", 5) == 1
+        assert TrussDivModel().vertex_score(g, "ego", 5) == 3
+
+
+class TestTrussDiv:
+    def test_matches_core_module(self, figure1):
+        model = TrussDivModel()
+        assert model.vertex_score(figure1, "v", 4) == 3
+
+    def test_with_tsd_index(self, figure1):
+        model = TrussDivModel(index=TSDIndex.build(figure1))
+        assert model.vertex_score(figure1, "v", 4) == 3
+        contexts = model.vertex_contexts(figure1, "v", 4)
+        assert len(contexts) == 3
+
+    def test_with_gct_index(self, figure1):
+        model = TrussDivModel(index=GCTIndex.build(figure1))
+        assert model.vertex_score(figure1, "v", 4) == 3
+
+    def test_top_r_uses_index(self, figure1):
+        model = TrussDivModel(index=TSDIndex.build(figure1))
+        result = model.top_r(figure1, 4, 1)
+        assert result.method == "Truss-Div"
+        assert result.vertices == ["v"]
+
+    def test_top_r_without_index(self, figure1):
+        result = TrussDivModel().top_r(figure1, 4, 1)
+        assert result.vertices == ["v"]
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=15)
+    def test_index_and_direct_agree(self, g):
+        direct = TrussDivModel()
+        indexed = TrussDivModel(index=GCTIndex.build(g))
+        for v in list(g.vertices())[:5]:
+            assert (direct.vertex_score(g, v, 3)
+                    == indexed.vertex_score(g, v, 3))
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self, figure1):
+        a = RandomModel(seed=42).select(figure1, 4, 5)
+        b = RandomModel(seed=42).select(figure1, 4, 5)
+        assert a == b
+
+    def test_different_seeds_differ(self, medium_graph):
+        a = RandomModel(seed=1).select(medium_graph, 4, 10)
+        b = RandomModel(seed=2).select(medium_graph, 4, 10)
+        assert a != b
+
+    def test_r_capped(self, triangle):
+        assert len(RandomModel(seed=0).select(triangle, 2, 50)) == 3
+
+    def test_selection_from_graph(self, figure1):
+        chosen = RandomModel(seed=7).select(figure1, 4, 6)
+        assert len(chosen) == 6
+        assert len(set(chosen)) == 6
+        assert all(v in figure1 for v in chosen)
+
+
+class TestModelInterface:
+    def test_top_r_validation(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            CompDivModel().top_r(figure1, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            CompDivModel().top_r(figure1, 2, 0)
+
+    def test_top_r_sorted(self, medium_graph):
+        result = CompDivModel().top_r(medium_graph, 2, 8)
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_select_returns_vertices(self, figure1):
+        chosen = CoreDivModel().select(figure1, 3, 2)
+        assert len(chosen) == 2

@@ -1,0 +1,31 @@
+"""Smoke tests of the documented public API surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_flow(self):
+        """The exact flow shown in the package docstring must work."""
+        from repro import TSDIndex
+        from repro.datasets import figure1_graph
+        g = figure1_graph()
+        index = TSDIndex.build(g)
+        result = index.top_r(k=4, r=1)
+        assert result.vertices == ["v"]
+        assert result.scores == [3]
+
+    def test_exceptions_catchable_via_base(self):
+        import pytest
+        with pytest.raises(repro.ReproError):
+            repro.Graph(edges=[(1, 1)])
+
+    def test_graph_roundtrip_via_top_level(self, tmp_path):
+        g = repro.Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        assert repro.structural_diversity(g, 0, 2) == 1

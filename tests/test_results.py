@@ -1,0 +1,95 @@
+"""Tests for result containers and the bounded top-r collector."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.core.results import SearchResult, TopEntry, TopRCollector
+
+
+class TestTopEntry:
+    def test_valid(self):
+        entry = TopEntry(vertex="v", score=2,
+                         contexts=(frozenset({1}), frozenset({2})))
+        assert entry.score == 2
+
+    def test_score_context_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TopEntry(vertex="v", score=3, contexts=(frozenset({1}),))
+
+
+class TestTopRCollector:
+    def test_r_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TopRCollector(0)
+
+    def test_fills_then_replaces(self):
+        c = TopRCollector(2)
+        assert c.offer("a", 1) is True
+        assert c.offer("b", 2) is True
+        assert c.is_full
+        assert c.offer("c", 3) is True   # evicts a
+        assert c.offer("d", 1) is False  # not strictly greater
+        assert [v for v, _ in c.ranked()] == ["c", "b"]
+
+    def test_threshold_before_full_raises(self):
+        c = TopRCollector(3)
+        c.offer("a", 5)
+        with pytest.raises(InvalidParameterError):
+            _ = c.threshold
+
+    def test_threshold(self):
+        c = TopRCollector(2)
+        c.offer("a", 5)
+        c.offer("b", 3)
+        assert c.threshold == 3
+        c.offer("c", 4)
+        assert c.threshold == 4
+
+    def test_ties_keep_insertion_order(self):
+        c = TopRCollector(3)
+        c.offer("first", 2)
+        c.offer("second", 2)
+        c.offer("third", 2)
+        assert [v for v, _ in c.ranked()] == ["first", "second", "third"]
+
+    def test_equal_score_does_not_evict(self):
+        c = TopRCollector(1)
+        c.offer("keeper", 2)
+        assert c.offer("challenger", 2) is False
+        assert c.ranked() == [("keeper", 2)]
+
+    def test_ranked_descending(self):
+        c = TopRCollector(4)
+        for v, s in [("a", 1), ("b", 9), ("c", 4), ("d", 7)]:
+            c.offer(v, s)
+        assert [s for _, s in c.ranked()] == [9, 7, 4, 1]
+
+
+class TestSearchResult:
+    def _result(self):
+        entries = [
+            TopEntry("a", 2, (frozenset({1}), frozenset({2}))),
+            TopEntry("b", 1, (frozenset({3}),)),
+        ]
+        return SearchResult(method="TSD", k=3, r=2, entries=entries,
+                            search_space=10, elapsed_seconds=0.5)
+
+    def test_vertices_scores(self):
+        r = self._result()
+        assert r.vertices == ["a", "b"]
+        assert r.scores == [2, 1]
+
+    def test_contexts_of(self):
+        r = self._result()
+        assert r.contexts_of("b") == (frozenset({3}),)
+        with pytest.raises(KeyError):
+            r.contexts_of("zzz")
+
+    def test_summary_contains_method_and_params(self):
+        text = self._result().summary()
+        assert "TSD" in text and "k=3" in text and "space=10" in text
+
+    def test_summary_without_timing(self):
+        r = self._result()
+        r.elapsed_seconds = None
+        assert "time" not in r.summary()

@@ -1,0 +1,129 @@
+"""Cross-method equivalence: baseline, bound, TSD, GCT, Hybrid.
+
+The defining property of the whole system: every search method answers
+the same top-r problem, so on any graph and any (k, r) their answer
+*score multisets* must be identical, and every claimed score must equal
+a from-scratch Algorithm 2 computation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.core.online import online_search
+from repro.core.bound import bound_search
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.core.hybrid import HybridSearcher
+from repro.core.diversity import structural_diversity
+
+from tests.conftest import dense_graph_strategy, graph_strategy
+
+
+def _all_results(graph, k, r):
+    tsd = TSDIndex.build(graph)
+    return [
+        online_search(graph, k, r),
+        bound_search(graph, k, r),
+        tsd.top_r(k, r),
+        GCTIndex.build(graph).top_r(k, r),
+        HybridSearcher.precompute(graph, index=tsd).top_r(k, r),
+    ]
+
+
+class TestPaperExamples:
+    def test_example2_baseline(self, figure1):
+        result = online_search(figure1, 4, 1)
+        assert result.vertices == ["v"]
+        assert result.scores == [3]
+        assert result.search_space == 17  # |V| invocations, Example 2
+
+    def test_example3_bound_prunes_to_one(self, figure1):
+        """Example 3: the bound framework computes only one score."""
+        result = bound_search(figure1, 4, 1)
+        assert result.vertices == ["v"]
+        assert result.search_space == 1
+
+    def test_all_methods_top1(self, figure1):
+        for result in _all_results(figure1, 4, 1):
+            assert result.scores == [3], result.method
+            assert result.vertices == ["v"], result.method
+
+    def test_contexts_returned_by_all(self, figure1):
+        expected = {
+            frozenset({"x1", "x2", "x3", "x4"}),
+            frozenset({"y1", "y2", "y3", "y4"}),
+            frozenset({"r1", "r2", "r3", "r4", "r5", "r6"})}
+        for result in _all_results(figure1, 4, 1):
+            assert set(result.entries[0].contexts) == expected, result.method
+
+
+class TestCrossMethodEquivalence:
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4]),
+           st.sampled_from([1, 2, 5]))
+    @settings(max_examples=25)
+    def test_same_score_multisets(self, g, k, r):
+        results = _all_results(g, k, r)
+        expected = sorted(results[0].scores, reverse=True)
+        for result in results[1:]:
+            assert sorted(result.scores, reverse=True) == expected, result.method
+
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=20)
+    def test_claimed_scores_are_correct(self, g, k):
+        for result in _all_results(g, k, 3):
+            for entry in result.entries:
+                assert entry.score == structural_diversity(g, entry.vertex, k), \
+                    result.method
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_entries_sorted_descending(self, g):
+        for result in _all_results(g, 3, 4):
+            scores = result.scores
+            assert scores == sorted(scores, reverse=True), result.method
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=15)
+    def test_r_entries_returned(self, g):
+        r = min(3, g.num_vertices)
+        for result in _all_results(g, 3, r):
+            assert len(result.entries) == r, result.method
+
+
+class TestValidation:
+    def test_bad_k(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            online_search(figure1, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            bound_search(figure1, 0, 1)
+
+    def test_bad_r(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            online_search(figure1, 3, 0)
+        with pytest.raises(InvalidParameterError):
+            bound_search(figure1, 3, -1)
+
+    def test_r_capped_at_n(self, triangle):
+        result = online_search(triangle, 3, 100)
+        assert len(result.entries) == 3
+
+
+class TestSearchSpace:
+    def test_bound_never_explores_more_than_baseline(self, medium_graph):
+        for k in (3, 4, 5):
+            base = online_search(medium_graph, k, 10, collect_contexts=False)
+            pruned = bound_search(medium_graph, k, 10, collect_contexts=False)
+            assert pruned.search_space <= base.search_space
+
+    def test_tsd_never_explores_more_than_bound(self, medium_graph):
+        index = TSDIndex.build(medium_graph)
+        for k in (3, 4):
+            pruned = bound_search(medium_graph, k, 10, collect_contexts=False)
+            tsd = index.top_r(k, 10, collect_contexts=False)
+            assert tsd.search_space <= pruned.search_space + medium_graph.num_vertices
+            # The headline claim: TSD prunes at least as well in practice.
+            assert tsd.search_space <= max(pruned.search_space,
+                                           medium_graph.num_vertices)

@@ -1,0 +1,88 @@
+"""Tests for graph sparsification (Property 1, Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.core.sparsify import sparsify, sparsify_with_stats
+from repro.core.diversity import structural_diversity, social_contexts
+from repro.truss.decomposition import truss_decomposition
+
+from tests.conftest import dense_graph_strategy
+
+
+class TestSparsify:
+    def test_invalid_k(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            sparsify(figure1, 1)
+
+    def test_input_not_mutated(self, figure1):
+        edges_before = figure1.num_edges
+        sparsify(figure1, 4)
+        assert figure1.num_edges == edges_before
+
+    def test_removes_low_trussness_edges(self, figure1):
+        reduced = sparsify(figure1, 4)
+        tau = truss_decomposition(figure1)
+        for edge, t in tau.items():
+            assert reduced.has_edge(*edge) == (t >= 5)
+
+    def test_figure1_keeps_answer_structure(self, figure1):
+        """After sparsification at k=4, v's score is still 3."""
+        reduced = sparsify(figure1, 4)
+        assert structural_diversity(reduced, "v", 4) == 3
+
+    def test_drops_isolated(self, figure1):
+        reduced = sparsify(figure1, 4)
+        # s1, s2 hang on trussness-2 edges: gone after sparsification.
+        assert "s1" not in reduced
+        assert "s2" not in reduced
+
+    def test_stats(self, figure1):
+        reduced, stats = sparsify_with_stats(figure1, 4)
+        assert stats.original_edges == figure1.num_edges
+        assert stats.remaining_edges == reduced.num_edges
+        assert stats.removed_edges == figure1.num_edges - reduced.num_edges
+        assert 0.0 <= stats.edge_removal_ratio <= 1.0
+
+    def test_stats_empty_graph(self):
+        _, stats = sparsify_with_stats(Graph(), 3)
+        assert stats.edge_removal_ratio == 0.0
+
+
+class TestProperty1:
+    """Property 1: removal never changes any vertex's score or contexts."""
+
+    @given(dense_graph_strategy(), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=25)
+    def test_scores_preserved(self, g, k):
+        reduced = sparsify(g, k)
+        for v in list(g.vertices())[:6]:
+            expected = structural_diversity(g, v, k)
+            if v in reduced:
+                assert structural_diversity(reduced, v, k) == expected
+            else:
+                # A vertex pruned entirely must have had score 0.
+                assert expected == 0
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_contexts_preserved(self, g):
+        k = 3
+        reduced = sparsify(g, k)
+        for v in list(g.vertices())[:4]:
+            before = {frozenset(c) for c in social_contexts(g, v, k)}
+            if v in reduced:
+                after = {frozenset(c) for c in social_contexts(reduced, v, k)}
+                assert after == before
+            else:
+                assert before == set()
+
+    @given(dense_graph_strategy())
+    @settings(max_examples=20)
+    def test_reduced_is_subgraph(self, g):
+        reduced = sparsify(g, 3)
+        for u, v in reduced.edges():
+            assert g.has_edge(u, v)

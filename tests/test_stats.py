@@ -1,0 +1,61 @@
+"""Tests for graph statistics (Table 1 columns)."""
+
+from repro.graph.graph import Graph
+from repro.graph.stats import GraphStats, compute_stats, max_ego_trussness
+
+from tests.conftest import complete_graph
+
+
+class TestComputeStats:
+    def test_figure1_row(self, figure1):
+        stats = compute_stats(figure1, name="figure1")
+        assert stats.num_vertices == 17
+        assert stats.num_edges == 43
+        assert stats.max_degree == 14      # the center vertex v
+        # {v} + the octahedron forms a 5-truss (every edge in >= 3
+        # triangles inside it), so the global maximum is 5 ...
+        assert stats.tau_max == 5
+        # ... and the ego maximum is exactly one lower (Property 1).
+        assert stats.tau_ego_max == 4
+        assert stats.triangles == 44
+
+    def test_skip_ego_column(self, triangle):
+        stats = compute_stats(triangle, include_ego_trussness=False)
+        assert stats.tau_ego_max is None
+        assert "-" in stats.as_row()
+
+    def test_empty_graph(self):
+        stats = compute_stats(Graph(), name="empty")
+        assert stats.num_vertices == 0
+        assert stats.tau_max == 0
+        assert stats.triangles == 0
+
+    def test_as_dict(self, triangle):
+        d = compute_stats(triangle, name="tri").as_dict()
+        assert d["name"] == "tri"
+        assert d["num_edges"] == 3
+
+    def test_header_matches_row_columns(self, triangle):
+        stats = compute_stats(triangle, name="tri")
+        assert len(GraphStats.header().split()) == len(stats.as_row().split())
+
+
+class TestEgoTrussness:
+    def test_complete_graph(self):
+        # Ego of any K6 vertex is K5: max ego trussness 5 = tau_max - 1.
+        g = complete_graph(6)
+        assert max_ego_trussness(g) == 5
+
+    def test_triangle(self, triangle):
+        # Ego of each triangle vertex is a single edge: trussness 2.
+        assert max_ego_trussness(triangle) == 2
+
+    def test_no_triangles(self, path4):
+        # Egos contain no edges at all.
+        assert max_ego_trussness(path4) == 0
+
+    def test_ego_at_most_global_minus_one(self, medium_graph):
+        """Property 1 consequence: tau*_ego <= tau*_G - 1 (seen in
+        every Table 1 row of the paper)."""
+        from repro.truss.decomposition import max_trussness
+        assert max_ego_trussness(medium_graph) <= max_trussness(medium_graph) - 1

@@ -1,0 +1,103 @@
+"""Tests for BFS and connected-component primitives."""
+
+from hypothesis import given
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_layers,
+    connected_components,
+    components_of_edges,
+    count_components_of_edges,
+    is_connected,
+    largest_component,
+)
+
+from tests.conftest import graph_strategy, cycle_graph
+
+
+class TestBFS:
+    def test_bfs_order_starts_at_source(self, path4):
+        assert bfs_order(path4, 0)[0] == 0
+
+    def test_bfs_reaches_component(self, path4):
+        assert set(bfs_order(path4, 0)) == {0, 1, 2, 3}
+
+    def test_bfs_layers_distances(self, path4):
+        assert bfs_layers(path4, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_does_not_cross_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        assert set(bfs_order(g, 0)) == {0, 1}
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        assert connected_components(triangle) == [{0, 1, 2}]
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)], vertices=[9])
+        comps = {frozenset(c) for c in connected_components(g)}
+        assert comps == {frozenset({0, 1}), frozenset({2, 3}), frozenset({9})}
+
+    def test_restricted_components(self, k4):
+        comps = connected_components(k4, vertices=[0, 1])
+        assert comps == [{0, 1}]
+
+    def test_restriction_can_split(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        comps = {frozenset(c) for c in connected_components(g, vertices=[0, 2])}
+        assert comps == {frozenset({0}), frozenset({2})}
+
+    def test_restriction_ignores_missing(self, triangle):
+        comps = connected_components(triangle, vertices=[0, 77])
+        assert comps == [{0}]
+
+    @given(graph_strategy())
+    def test_components_partition_vertices(self, g):
+        comps = connected_components(g)
+        seen = [v for c in comps for v in c]
+        assert sorted(map(repr, seen)) == sorted(map(repr, g.vertices()))
+
+
+class TestEdgeComponents:
+    def test_components_of_edges(self):
+        comps = components_of_edges([(0, 1), (1, 2), (5, 6)])
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1, 2}), frozenset({5, 6})}
+
+    def test_components_of_edges_empty(self):
+        assert components_of_edges([]) == []
+
+    def test_count_matches_materialised(self):
+        edges = [(0, 1), (1, 2), (5, 6), (7, 8), (8, 9), (9, 7)]
+        assert count_components_of_edges(edges) == len(components_of_edges(edges))
+
+    @given(graph_strategy())
+    def test_count_components_property(self, g):
+        edges = list(g.edges())
+        assert count_components_of_edges(edges) == len(components_of_edges(edges))
+
+    def test_isolated_vertices_not_counted(self):
+        # Edge components only see edge endpoints — this is exactly the
+        # social-context semantics (contexts always contain edges).
+        g = Graph(edges=[(0, 1)], vertices=[5])
+        assert count_components_of_edges(g.edges()) == 1
+
+
+class TestConnectivity:
+    def test_is_connected(self, triangle, path4):
+        assert is_connected(triangle)
+        assert is_connected(path4)
+        assert is_connected(Graph())
+
+    def test_not_connected(self):
+        assert not is_connected(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_largest_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        assert largest_component(g) == {0, 1, 2}
+        assert largest_component(Graph()) == set()
+
+    def test_cycle_connected(self):
+        assert is_connected(cycle_graph(6))

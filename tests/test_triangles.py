@@ -1,0 +1,131 @@
+"""Tests for triangle listing, counting and edge supports."""
+
+from hypothesis import given
+
+from repro.graph.graph import Graph
+from repro.errors import InvalidParameterError
+from repro.graph.triangles import (
+    iter_triangles,
+    triangle_count,
+    edge_supports,
+    local_triangle_counts,
+    count_triangles_per_edge_sum,
+    global_clustering_coefficient,
+    approx_triangle_count,
+)
+from repro.graph.egonet import ego_edge_count
+
+from tests.conftest import graph_strategy, complete_graph, cycle_graph
+from tests.helpers import nx_triangle_count
+
+
+class TestTriangleListing:
+    def test_triangle(self, triangle):
+        assert list(iter_triangles(triangle)) == [(0, 1, 2)]
+
+    def test_each_triangle_once(self, k4):
+        triangles = list(iter_triangles(k4))
+        assert len(triangles) == 4
+        assert len({frozenset(t) for t in triangles}) == 4
+
+    def test_no_triangles_in_cycle(self):
+        assert triangle_count(cycle_graph(5)) == 0
+
+    def test_complete_graph_counts(self):
+        # K_n has C(n, 3) triangles.
+        for n in range(3, 8):
+            expected = n * (n - 1) * (n - 2) // 6
+            assert triangle_count(complete_graph(n)) == expected
+
+    @given(graph_strategy())
+    def test_matches_networkx(self, g):
+        assert triangle_count(g) == nx_triangle_count(g)
+
+    @given(graph_strategy())
+    def test_triangles_are_actual_triangles(self, g):
+        for u, v, w in iter_triangles(g):
+            assert g.has_edge(u, v) and g.has_edge(u, w) and g.has_edge(v, w)
+
+
+class TestEdgeSupports:
+    def test_paper_figure2a(self, h1):
+        """Figure 2(a): clique edges support 2, except (x2,x4) with 3;
+        the two bridges have support 1."""
+        sup = edge_supports(h1)
+        by_pair = {frozenset(e): s for e, s in sup.items()}
+        assert by_pair[frozenset(("x2", "y1"))] == 1
+        assert by_pair[frozenset(("x4", "y1"))] == 1
+        assert by_pair[frozenset(("x2", "x4"))] == 3
+        assert by_pair[frozenset(("x1", "x3"))] == 2
+        assert by_pair[frozenset(("y1", "y2"))] == 2
+
+    def test_every_edge_present(self, path4):
+        sup = edge_supports(path4)
+        assert len(sup) == path4.num_edges
+        assert all(s == 0 for s in sup.values())
+
+    @given(graph_strategy())
+    def test_support_sum_is_three_triangles(self, g):
+        assert count_triangles_per_edge_sum(g) == 3 * triangle_count(g)
+
+    @given(graph_strategy())
+    def test_support_matches_common_neighbors(self, g):
+        sup = edge_supports(g)
+        for (u, v), s in sup.items():
+            assert s == len(g.common_neighbors(u, v))
+
+
+class TestLocalCounts:
+    @given(graph_strategy())
+    def test_local_counts_sum(self, g):
+        counts = local_triangle_counts(g)
+        assert sum(counts.values()) == 3 * triangle_count(g)
+
+    @given(graph_strategy())
+    def test_local_count_equals_ego_edges(self, g):
+        """m_v (Lemma 2) equals the number of triangles through v."""
+        counts = local_triangle_counts(g)
+        for v in g.vertices():
+            assert counts[v] == ego_edge_count(g, v)
+
+
+class TestApproxCount:
+    def test_exact_at_p_one(self, figure1):
+        assert approx_triangle_count(figure1, 1.0) == triangle_count(figure1)
+
+    def test_validation(self, triangle):
+        import pytest
+        with pytest.raises(InvalidParameterError):
+            approx_triangle_count(triangle, 0.0)
+        with pytest.raises(InvalidParameterError):
+            approx_triangle_count(triangle, 1.5)
+
+    def test_unbiased_in_expectation(self):
+        """DOULION: averaging estimates over many seeds approaches T."""
+        g = complete_graph(12)  # 220 triangles
+        true_count = triangle_count(g)
+        estimates = [approx_triangle_count(g, 0.6, seed=s)
+                     for s in range(40)]
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - true_count) <= 0.25 * true_count
+
+    def test_input_not_mutated(self, k4):
+        edges_before = k4.num_edges
+        approx_triangle_count(k4, 0.5, seed=1)
+        assert k4.num_edges == edges_before
+
+
+class TestClustering:
+    def test_complete_graph_transitivity(self):
+        assert global_clustering_coefficient(complete_graph(5)) == 1.0
+
+    def test_triangle_free(self):
+        assert global_clustering_coefficient(cycle_graph(6)) == 0.0
+
+    def test_empty(self):
+        assert global_clustering_coefficient(Graph()) == 0.0
+
+    @given(graph_strategy())
+    def test_range(self, g):
+        c = global_clustering_coefficient(g)
+        assert 0.0 <= c <= 1.0

@@ -1,0 +1,119 @@
+"""Tests for truss decomposition (Algorithm 1) against oracles."""
+
+from hypothesis import given
+
+from repro.graph.graph import Graph
+from repro.truss.decomposition import (
+    truss_decomposition,
+    vertex_trussness,
+    max_trussness,
+    trussness_histogram,
+    subgraph_trussness,
+)
+
+from tests.conftest import graph_strategy, dense_graph_strategy, complete_graph, cycle_graph
+from tests.helpers import brute_trussness, nx_ktruss_edges
+
+
+class TestKnownGraphs:
+    def test_empty(self):
+        assert truss_decomposition(Graph()) == {}
+
+    def test_single_edge(self):
+        g = Graph(edges=[(0, 1)])
+        assert list(truss_decomposition(g).values()) == [2]
+
+    def test_triangle(self, triangle):
+        assert set(truss_decomposition(triangle).values()) == {3}
+
+    def test_complete_graphs(self):
+        # Every edge of K_n has trussness exactly n.
+        for n in range(2, 8):
+            tau = truss_decomposition(complete_graph(n))
+            assert set(tau.values()) == {n}
+
+    def test_cycle(self):
+        # Triangle-free: every edge has trussness 2.
+        tau = truss_decomposition(cycle_graph(7))
+        assert set(tau.values()) == {2}
+
+    def test_paper_figure2b(self, h1):
+        """Figure 2(b): clique edges trussness 4, bridges trussness 3."""
+        tau = truss_decomposition(h1)
+        by_pair = {frozenset(e): t for e, t in tau.items()}
+        assert by_pair[frozenset(("x2", "y1"))] == 3
+        assert by_pair[frozenset(("x4", "y1"))] == 3
+        fours = [e for e, t in by_pair.items() if t == 4]
+        assert len(fours) == 12
+
+    def test_paper_example1_subgraph_trussness(self, h1):
+        """Example 1: tau(H1) = min support + 2 = 3."""
+        assert subgraph_trussness(h1) == 3
+
+    def test_two_triangles_sharing_edge(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)])
+        tau = truss_decomposition(g)
+        assert set(tau.values()) == {3}
+
+
+class TestAgainstOracles:
+    @given(graph_strategy())
+    def test_matches_brute_force(self, g):
+        assert truss_decomposition(g) == brute_trussness(g)
+
+    @given(dense_graph_strategy())
+    def test_matches_brute_force_dense(self, g):
+        assert truss_decomposition(g) == brute_trussness(g)
+
+    @given(dense_graph_strategy())
+    def test_ktruss_matches_networkx(self, g):
+        tau = truss_decomposition(g)
+        top = max(tau.values(), default=2)
+        for k in range(3, top + 2):
+            ours = {frozenset(e) for e, t in tau.items() if t >= k}
+            assert ours == nx_ktruss_edges(g, k)
+
+
+class TestDerivedQuantities:
+    def test_vertex_trussness(self, h1):
+        vt = vertex_trussness(h1)
+        assert vt["x1"] == 4
+        assert vt["y1"] == 4  # y1 is in the y-clique
+
+    def test_vertex_trussness_isolated(self):
+        g = Graph(edges=[(0, 1)], vertices=[9])
+        assert vertex_trussness(g)[9] == 0
+
+    def test_max_trussness(self, h1):
+        assert max_trussness(h1) == 4
+        assert max_trussness(Graph()) == 0
+
+    def test_histogram(self, h1):
+        hist = trussness_histogram(truss_decomposition(h1))
+        assert hist == {3: 2, 4: 12}
+
+    @given(graph_strategy())
+    def test_histogram_totals(self, g):
+        hist = trussness_histogram(truss_decomposition(g))
+        assert sum(hist.values()) == g.num_edges
+
+    @given(graph_strategy())
+    def test_vertex_trussness_is_max_incident(self, g):
+        tau = truss_decomposition(g)
+        vt = vertex_trussness(g, tau)
+        for v in g.vertices():
+            incident = [t for (a, b), t in tau.items() if v in (a, b)]
+            assert vt[v] == max(incident, default=0)
+
+    @given(graph_strategy())
+    def test_trussness_at_least_two(self, g):
+        tau = truss_decomposition(g)
+        assert all(t >= 2 for t in tau.values())
+
+    @given(graph_strategy())
+    def test_trussness_at_most_support_plus_two(self, g):
+        from repro.graph.triangles import edge_supports
+        tau = truss_decomposition(g)
+        sup = edge_supports(g)
+        for e, t in tau.items():
+            assert t <= sup[e] + 2

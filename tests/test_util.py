@@ -1,0 +1,123 @@
+"""Tests for utility modules: DisjointSet and StopWatch."""
+
+import time
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.dsu import DisjointSet
+from repro.util.timing import StopWatch, time_call
+
+
+class TestDisjointSet:
+    def test_empty(self):
+        dsu = DisjointSet()
+        assert len(dsu) == 0
+        assert dsu.num_components == 0
+
+    def test_add(self):
+        dsu = DisjointSet()
+        assert dsu.add(1) is True
+        assert dsu.add(1) is False
+        assert dsu.num_components == 1
+
+    def test_union_and_connected(self):
+        dsu = DisjointSet([1, 2, 3])
+        assert dsu.union(1, 2) is True
+        assert dsu.union(1, 2) is False
+        assert dsu.connected(1, 2)
+        assert not dsu.connected(1, 3)
+        assert dsu.num_components == 2
+
+    def test_find_adds_lazily(self):
+        dsu = DisjointSet()
+        assert dsu.find("x") == "x"
+        assert "x" in dsu
+
+    def test_connected_unknown_items(self):
+        dsu = DisjointSet([1])
+        assert not dsu.connected(1, 42)
+
+    def test_component_size(self):
+        dsu = DisjointSet(range(5))
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.component_size(2) == 3
+        assert dsu.component_size(4) == 1
+
+    def test_components(self):
+        dsu = DisjointSet(range(4))
+        dsu.union(0, 1)
+        comps = {frozenset(c) for c in dsu.components()}
+        assert comps == {frozenset({0, 1}), frozenset({2}), frozenset({3})}
+
+    def test_iter_roots_one_per_component(self):
+        dsu = DisjointSet(range(6))
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        assert len(list(dsu.iter_roots())) == 4
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_transitive_closure(self, pairs):
+        dsu = DisjointSet(range(16))
+        adjacency = {i: set() for i in range(16)}
+        for a, b in pairs:
+            dsu.union(a, b)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        # BFS reference connectivity.
+        import collections
+        for start in range(0, 16, 5):
+            seen = {start}
+            queue = collections.deque([start])
+            while queue:
+                x = queue.popleft()
+                for y in adjacency[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        queue.append(y)
+            for other in range(16):
+                assert dsu.connected(start, other) == (other in seen)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_component_count_invariant(self, pairs):
+        dsu = DisjointSet(range(16))
+        merges = 0
+        for a, b in pairs:
+            if dsu.union(a, b):
+                merges += 1
+        assert dsu.num_components == 16 - merges
+
+
+class TestStopWatch:
+    def test_accumulates(self):
+        watch = StopWatch()
+        with watch.phase("a"):
+            pass
+        with watch.phase("a"):
+            pass
+        assert watch.seconds("a") >= 0.0
+        assert watch.seconds("missing") == 0.0
+
+    def test_manual_add(self):
+        watch = StopWatch()
+        watch.add("x", 1.5)
+        watch.add("x", 0.5)
+        assert watch.seconds("x") == 2.0
+        assert watch.total == 2.0
+        assert watch.totals() == {"x": 2.0}
+
+    def test_phase_records_on_exception(self):
+        watch = StopWatch()
+        try:
+            with watch.phase("risky"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert watch.seconds("risky") >= 0.0
+        assert "risky" in watch.totals()
+
+    def test_time_call(self):
+        result, seconds = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0

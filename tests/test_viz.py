@@ -1,0 +1,76 @@
+"""Tests for the visualisation exports."""
+
+from repro.graph.graph import Graph
+from repro.truss.decomposition import truss_decomposition, trussness_histogram
+from repro.viz import (
+    graph_to_dot,
+    ego_network_to_dot,
+    contexts_summary,
+    trussness_histogram_ascii,
+)
+
+
+class TestGraphToDot:
+    def test_basic_structure(self, triangle):
+        dot = graph_to_dot(triangle, name="tri")
+        assert dot.startswith('graph "tri" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == 3
+
+    def test_all_vertices_listed(self, figure1):
+        dot = graph_to_dot(figure1)
+        for v in figure1.vertices():
+            assert f'"{v}"' in dot
+
+    def test_highlight_colours(self, figure1):
+        groups = [{"x1", "x2"}, {"y1"}]
+        dot = graph_to_dot(figure1, highlight=groups)
+        assert "palegreen" in dot
+        assert "lightskyblue" in dot
+
+    def test_edge_labels(self, h1):
+        tau = truss_decomposition(h1)
+        dot = graph_to_dot(h1, edge_labels=tau)
+        assert 'label="4"' in dot
+        assert 'label="3"' in dot
+
+    def test_quoting_special_labels(self):
+        g = Graph(edges=[('a"b', "c\\d")])
+        dot = graph_to_dot(g)
+        assert '\\"' in dot  # the quote is escaped
+        assert dot.count(" -- ") == 1
+
+
+class TestEgoDot:
+    def test_paper_figure16_style(self, figure1):
+        dot = ego_network_to_dot(figure1, "v", 4)
+        # Three contexts -> three distinct fill colours.
+        used = {c for c in ("palegreen", "lightskyblue", "lightsalmon")
+                if c in dot}
+        assert len(used) == 3
+        assert '"v"' not in dot  # the ego itself is excluded by default
+
+    def test_include_center(self, figure1):
+        dot = ego_network_to_dot(figure1, "v", 4, include_center=True)
+        assert '"v"' in dot
+
+
+class TestSummaries:
+    def test_contexts_summary(self, figure1):
+        text = contexts_summary(figure1, "v", 4)
+        assert "3 social context(s)" in text
+        assert text.count("[") >= 3
+
+    def test_contexts_summary_truncates(self, figure1):
+        text = contexts_summary(figure1, "v", 4, max_members=2)
+        assert "..." in text
+
+    def test_histogram_ascii(self, h1):
+        hist = trussness_histogram(truss_decomposition(h1))
+        art = trussness_histogram_ascii(hist)
+        assert "tau=  3" in art
+        assert "tau=  4" in art
+        assert "#" in art
+
+    def test_histogram_ascii_empty(self):
+        assert "empty" in trussness_histogram_ascii({})
