@@ -1,0 +1,21 @@
+# Development entry points.  CI (.github/workflows/ci.yml) runs
+# `make check`, which is the tier-1 suite plus the executable-docs run —
+# the pair that keeps the canonical ranking contract enforced.
+
+PY ?= python
+
+.PHONY: test doctest check bench-planner benchmarks
+
+test:           ## tier-1 verify (ROADMAP)
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+doctest:        ## every module docstring example, executed
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_doctests.py
+
+check: test doctest
+
+bench-planner:  ## engine planner vs fixed strategies (fast)
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_engine_planner.py --benchmark-disable
+
+benchmarks:     ## full paper-reproduction report (slow)
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_*.py --benchmark-disable

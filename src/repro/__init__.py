@@ -4,7 +4,11 @@ A from-scratch Python reproduction of Huang, Huang & Xu (ICDE 2021 /
 TKDE): the truss-based structural diversity model, four top-r search
 algorithms (baseline, bound, TSD-index, GCT-index), the Hybrid
 competitor, the Comp-Div/Core-Div/Random baselines, and the influence
-propagation harness used by the effectiveness experiments.
+propagation harness used by the effectiveness experiments.  The
+:class:`QueryEngine` facade unifies every method behind a cost-based
+planner with cached indexes and batched queries; all methods return
+identical ranked answers under the canonical ranking contract
+(:mod:`repro.core.results`).
 
 Quickstart
 ----------
@@ -50,6 +54,7 @@ from repro.models import (
     CoreDivModel,
     RandomModel,
 )
+from repro.engine import EngineConfig, QueryEngine
 
 __version__ = "1.0.0"
 
@@ -83,5 +88,7 @@ __all__ = [
     "CompDivModel",
     "CoreDivModel",
     "RandomModel",
+    "QueryEngine",
+    "EngineConfig",
     "__version__",
 ]

@@ -5,6 +5,9 @@ usable without writing Python:
 
 * ``repro stats GRAPH``                 — Table-1 statistics of a graph file
 * ``repro topr GRAPH -k 4 -r 10``      — top-r structural diversity search
+  (``--method auto`` lets the engine's cost-based planner choose)
+* ``repro engine-stats GRAPH``         — run a workload through the
+  query engine; report planner decisions, cache hits, index builds
 * ``repro score GRAPH VERTEX -k 4``    — one vertex's score and contexts
 * ``repro build-index GRAPH OUT``      — persist a TSD or GCT index
 * ``repro query-index INDEX -k 4``     — top-r from a persisted index
@@ -32,14 +35,13 @@ from repro.graph.io import (
     write_json_graph,
 )
 from repro.graph.stats import compute_stats, GraphStats
-from repro.core.online import online_search
-from repro.core.bound import bound_search
 from repro.core.sparsify import sparsify_with_stats
 from repro.core.diversity import diversity_and_contexts
 from repro.core.tsd import TSDIndex
 from repro.core.gct import GCTIndex
 from repro.community.tcp import TCPIndex
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.engine import ENGINE_METHODS, QueryEngine
 
 
 def _load_graph(path: str) -> Graph:
@@ -67,20 +69,48 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_topr(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    if args.method == "baseline":
-        result = online_search(graph, args.k, args.r)
-    elif args.method == "bound":
-        result = bound_search(graph, args.k, args.r)
-    elif args.method == "tsd":
-        result = TSDIndex.build(graph).top_r(args.k, args.r)
-    else:
-        result = GCTIndex.build(graph).top_r(args.k, args.r)
+    engine = QueryEngine(graph)
+    result = engine.top_r(args.k, args.r, method=args.method)
+    if args.method == "auto":
+        for decision in engine.stats().decisions:
+            print(f"planner: {decision.method} — {decision.reason}")
     print(result.summary())
     for entry in result.entries:
         print(f"  {entry.vertex!r}: score={entry.score}")
         if args.contexts:
             for context in entry.contexts:
                 print(f"    context: {sorted(map(repr, context))}")
+    return 0
+
+
+def _parse_query_list(raw: str) -> List[tuple]:
+    """Parse a ``k:r,k:r,...`` workload specification (``r`` defaults
+    to 10 when a pair is given as just ``k:`` or ``k``)."""
+    from repro.errors import InvalidParameterError
+    queries = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        k_text, _, r_text = part.partition(":")
+        try:
+            queries.append((int(k_text), int(r_text or "10")))
+        except ValueError:
+            raise InvalidParameterError(
+                f"bad workload item {part!r}: expected k:r with integer "
+                "k and r (e.g. --queries '3:10,4:5')") from None
+    return queries
+
+
+def _cmd_engine_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    engine = QueryEngine(graph)
+    queries = _parse_query_list(args.queries)
+    results = engine.top_r_many(queries, method=args.method)
+    for (k, r), result in zip(queries, results):
+        print(result.summary())
+    print()
+    print(engine.stats().summary())
     return 0
 
 
@@ -206,11 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("-k", type=int, default=3, help="trussness threshold")
     p.add_argument("-r", type=int, default=10, help="answer size")
-    p.add_argument("--method", choices=["baseline", "bound", "tsd", "gct"],
-                   default="gct")
+    p.add_argument("--method", choices=list(ENGINE_METHODS), default="gct",
+                   help="search method; 'auto' lets the cost-based "
+                        "planner choose")
     p.add_argument("--contexts", action="store_true",
                    help="print the social contexts of each answer vertex")
     p.set_defaults(func=_cmd_topr)
+
+    p = sub.add_parser("engine-stats",
+                       help="run a workload through the query engine and "
+                            "report planner decisions and cache stats")
+    p.add_argument("graph")
+    p.add_argument("--queries", default="3:10,4:10,3:5,5:10,4:3",
+                   help="workload as comma-separated k:r pairs "
+                        "(default: %(default)s)")
+    p.add_argument("--method", choices=list(ENGINE_METHODS), default="auto")
+    p.set_defaults(func=_cmd_engine_stats)
 
     p = sub.add_parser("score", help="score and contexts of one vertex")
     p.add_argument("graph")

@@ -10,6 +10,12 @@ Four search methods, all answering the same top-r problem:
 * :class:`~repro.core.gct.GCTIndex` — Section 6 (``GCT``): one-shot
   triangle listing, bitmap decomposition, supernode compression.
 * :class:`~repro.core.hybrid.HybridSearcher` — the Exp-4 competitor.
+
+All five obey the canonical ranking contract of
+:mod:`repro.core.results` — descending score, ties broken by graph
+insertion order — so they return *identical ranked vertex lists*, which
+is what lets :class:`repro.engine.QueryEngine` swap methods freely on
+cost grounds alone.
 """
 
 from repro.core.diversity import (
@@ -29,7 +35,14 @@ from repro.core.bounds import (
     tsd_upper_bound,
     count_at_least,
 )
-from repro.core.results import SearchResult, TopEntry, TopRCollector
+from repro.core.results import (
+    CanonicalTopR,
+    SearchResult,
+    TopEntry,
+    TopRCollector,
+    build_entries,
+    canonical_zero_fill,
+)
 from repro.core.tsd import TSDIndex, BuildProfile, maximum_spanning_forest
 from repro.core.gct import GCTIndex, assemble_gct
 from repro.core.hybrid import HybridSearcher
@@ -55,6 +68,9 @@ __all__ = [
     "SearchResult",
     "TopEntry",
     "TopRCollector",
+    "CanonicalTopR",
+    "build_entries",
+    "canonical_zero_fill",
     "TSDIndex",
     "BuildProfile",
     "maximum_spanning_forest",

@@ -11,6 +11,12 @@ Combines the two pruning techniques of Section 4:
 
 ``search_space`` counts the vertices for which Algorithm 2 actually ran,
 the pruning metric of Table 2 and Figure 9.
+
+Answers follow the canonical ranking contract of
+:mod:`repro.core.results`: descending score, ties broken by graph
+insertion order.  The early-termination test is therefore *strict*
+(``bound < threshold``) — a vertex whose bound equals the threshold
+could still tie the minimum score and win on insertion order.
 """
 
 from __future__ import annotations
@@ -22,7 +28,12 @@ from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph, Edge
 from repro.core.bounds import clique_upper_bounds
 from repro.core.diversity import structural_diversity, social_contexts
-from repro.core.results import SearchResult, TopEntry, TopRCollector
+from repro.core.results import (
+    CanonicalTopR,
+    SearchResult,
+    build_entries,
+    canonical_zero_fill,
+)
 from repro.core.sparsify import sparsify
 
 
@@ -59,7 +70,7 @@ def bound_search(graph: Graph, k: int, r: int,
         reduced = graph
 
     r = min(r, max(graph.num_vertices, 1))
-    collector = TopRCollector(r)
+    collector = CanonicalTopR(r, graph.vertex_index)
     search_space = 0
 
     if use_upper_bound:
@@ -67,31 +78,26 @@ def bound_search(graph: Graph, k: int, r: int,
         # Descending bound order; ties broken by insertion index so the
         # scan order is deterministic.
         order = sorted(reduced.vertices(),
-                       key=lambda v: (-bounds[v], reduced.vertex_index(v)))
+                       key=lambda v: (-bounds[v], graph.vertex_index(v)))
     else:
         bounds = None
         order = list(reduced.vertices())
 
     for v in order:
-        if bounds is not None and collector.is_full and bounds[v] <= collector.threshold:
-            break  # early termination (Algorithm 4 lines 8-9)
+        if bounds is not None:
+            if bounds[v] == 0:
+                break  # descending order: every remaining bound is 0 too
+            if collector.is_full and bounds[v] < collector.threshold:
+                break  # early termination (Algorithm 4 lines 8-9)
         collector.offer(v, structural_diversity(reduced, v, k))
         search_space += 1
 
-    entries = []
-    for vertex, score in collector.ranked():
-        contexts = (tuple(frozenset(c) for c in social_contexts(reduced, vertex, k))
-                    if collect_contexts else tuple(frozenset() for _ in range(score)))
-        entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
-    if len(entries) < r:
-        # Sparsification dropped vertices; every dropped vertex has
-        # score 0 (Property 1), so pad deterministically to r entries.
-        answered = {entry.vertex for entry in entries}
-        for v in graph.vertices():
-            if len(entries) >= r:
-                break
-            if v not in answered and v not in reduced:
-                entries.append(TopEntry(vertex=v, score=0, contexts=()))
+    # Vertices behind the termination point or dropped by sparsification
+    # all have score 0 (Property 1 / a zero bound); the canonical answer
+    # fills remaining slots from the original graph's insertion order.
+    ranked = canonical_zero_fill(collector.ranked(), r, graph.vertices())
+    entries = build_entries(
+        ranked, lambda v: social_contexts(reduced, v, k), collect_contexts)
     return SearchResult(
         method="bound", k=k, r=r, entries=entries,
         search_space=search_space,

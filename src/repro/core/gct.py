@@ -28,8 +28,13 @@ from repro.graph.graph import Graph, Vertex, Edge
 from repro.graph.egonet import iter_ego_edge_lists
 from repro.truss.bitmap_decomposition import bitmap_truss_decomposition
 from repro.core.bounds import count_at_least
-from repro.core.results import SearchResult, TopEntry, TopRCollector
-from repro.core.tsd import TSDIndex, BuildProfile
+from repro.core.results import (
+    CanonicalTopR,
+    SearchResult,
+    build_entries,
+    canonical_zero_fill,
+)
+from repro.core.tsd import TSDIndex, BuildProfile, canonical_kruskal_order
 from repro.util.dsu import DisjointSet
 from repro.util.timing import StopWatch
 
@@ -51,9 +56,17 @@ def assemble_gct(vertices: Sequence[Vertex],
     query answers).  Edges are scanned in decreasing weight; equal-tau
     endpoints merge supernodes, unequal ones add a superedge, and a
     connectivity union-find rejects anything that would close a cycle.
+
+    The returned structure is *canonical with respect to* ``vertices``:
+    supernode member tuples are ordered by position in ``vertices``,
+    supernodes by their earliest member, and superedges are normalised
+    to ``i < j`` and sorted — so any two edge sets describing the same
+    weighted connectivity (full ego edges, a TSD forest) assemble to an
+    identical index payload.
     """
     vertex_list = list(vertices)
     edge_list = list(weighted_edges)
+    position = {u: i for i, u in enumerate(vertex_list)}
     # Vertex trussness = max incident edge weight (0 for isolated).
     vertex_tau: Dict[Vertex, int] = {u: 0 for u in vertex_list}
     for (u, w), tau in edge_list:
@@ -68,7 +81,8 @@ def assemble_gct(vertices: Sequence[Vertex],
     tau_of: Dict[Vertex, int] = dict(vertex_tau)    # valid at snode roots
     raw_superedges: List[Tuple[Vertex, Vertex, int]] = []
 
-    for (u, w), tau in sorted(edge_list, key=lambda item: -item[1]):
+    for (u, w), tau in canonical_kruskal_order(vertex_list, edge_list,
+                                               position, vertex_tau):
         if conn.connected(u, w):
             continue
         ru, rw = snode.find(u), snode.find(w)
@@ -95,11 +109,15 @@ def assemble_gct(vertices: Sequence[Vertex],
             # query with k >= 2 — not worth an index slot.
             continue
         roots[root] = len(supernodes)
-        supernodes.append((tau_of[root], tuple(members[root])))
-    superedges: List[Superedge] = [
-        (roots[snode.find(u)], roots[snode.find(w)], tau)
+        supernodes.append((tau_of[root],
+                           tuple(sorted(members[root],
+                                        key=position.__getitem__))))
+    superedges: List[Superedge] = sorted(
+        (min(roots[snode.find(u)], roots[snode.find(w)]),
+         max(roots[snode.find(u)], roots[snode.find(w)]),
+         tau)
         for u, w, tau in raw_superedges
-    ]
+    )
     return supernodes, superedges
 
 
@@ -166,20 +184,24 @@ class GCTIndex:
         The paper describes GCT-index as "compressed from TSD-index";
         running Algorithm 8 over the stored forests yields an index with
         identical query answers (bottleneck property) without touching
-        the graph again.
+        the graph again.  Ego vertices are ordered by the TSD index's
+        vertex positions — the same graph insertion order :meth:`build`
+        uses — so a compressed index is structurally identical to a
+        freshly built one, not merely query-equivalent.
         """
+        position = {v: i for i, v in enumerate(tsd.vertices)}
         supernodes: Dict[Vertex, List[Supernode]] = {}
         superedges: Dict[Vertex, List[Superedge]] = {}
         for v in tsd.vertices:
             forest = tsd.forest(v)
             touched = {u for u, _, _ in forest} | {w for _, w, _ in forest}
-            # Forests omit isolated ego vertices from edges; recover the
-            # full neighbour set from the forest plus stored vertices is
-            # not possible, so compression keeps only edge-touched
-            # vertices.  Isolated ego vertices have trussness 0 and never
-            # affect any query with k >= 2.
+            # Forests omit isolated ego vertices from edges; recovering
+            # the full neighbour set from the forest alone is not
+            # possible, so compression keeps only edge-touched vertices.
+            # Isolated ego vertices have trussness 0 and never affect
+            # any query with k >= 2 (build skips them too).
             supernodes[v], superedges[v] = assemble_gct(
-                sorted(touched, key=repr),
+                sorted(touched, key=position.__getitem__),
                 (((u, w), weight) for u, w, weight in forest))
         return cls(supernodes, superedges, tsd.vertices)
 
@@ -196,15 +218,18 @@ class GCTIndex:
 
     def supernodes(self, v: Vertex) -> List[Supernode]:
         """The supernodes of ``GCT_v`` as ``(trussness, members)`` pairs."""
+        self._check_vertex(v)
         return list(self._supernodes[v])
 
     def superedges(self, v: Vertex) -> List[Superedge]:
         """The superedges of ``GCT_v`` as ``(i, j, weight)`` triples."""
+        self._check_vertex(v)
         return list(self._superedges[v])
 
     def score(self, v: Vertex, k: int) -> int:
         """Lemma 3: ``score(v) = N_k − M_k`` via two binary searches."""
         self._check_k(k)
+        self._check_vertex(v)
         n_k = count_at_least(self._tau_sorted[v], k)
         m_k = count_at_least(self._weight_sorted[v], k)
         return n_k - m_k
@@ -216,6 +241,7 @@ class GCTIndex:
         weight ≥ ``k``; each group's member union is one context.
         """
         self._check_k(k)
+        self._check_vertex(v)
         qualifying = [i for i, (tau, _) in enumerate(self._supernodes[v])
                       if tau >= k]
         dsu: DisjointSet = DisjointSet(qualifying)
@@ -242,6 +268,7 @@ class GCTIndex:
 
     def score_profile(self, v: Vertex) -> Dict[int, int]:
         """``score(v)`` for every ``k`` from 2 to the max supernode tau."""
+        self._check_vertex(v)
         taus = self._tau_sorted[v]
         if not taus or taus[0] < 2:
             return {}
@@ -262,15 +289,13 @@ class GCTIndex:
             raise InvalidParameterError(f"r must be >= 1, got {r}")
         start = time.perf_counter()
         r = min(r, max(len(self._vertices), 1))
-        collector = TopRCollector(r)
+        position = {v: i for i, v in enumerate(self._vertices)}
+        collector = CanonicalTopR(r, position.__getitem__)
         for v in self._vertices:
             collector.offer(v, self.score(v, k))
-        entries = []
-        for vertex, score in collector.ranked():
-            contexts = (tuple(frozenset(c) for c in self.contexts(vertex, k))
-                        if collect_contexts
-                        else tuple(frozenset() for _ in range(score)))
-            entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
+        ranked = canonical_zero_fill(collector.ranked(), r, self._vertices)
+        entries = build_entries(
+            ranked, lambda v: self.contexts(v, k), collect_contexts)
         return SearchResult(
             method="GCT", k=k, r=r, entries=entries,
             search_space=len(self._vertices),
@@ -281,6 +306,11 @@ class GCTIndex:
     def _check_k(k: int) -> None:
         if k < 2:
             raise InvalidParameterError(f"k must be >= 2, got {k}")
+
+    def _check_vertex(self, v: Vertex) -> None:
+        if v not in self._supernodes:
+            raise InvalidParameterError(
+                f"vertex {v!r} is not in the GCT-index")
 
     # ------------------------------------------------------------------
     # Size accounting and persistence (Table 3)
@@ -321,11 +351,13 @@ class GCTIndex:
                 for v, edges in self._superedges.items()
             },
         }
+        if self.build_profile is not None:
+            payload["build_profile"] = self.build_profile.to_payload()
         Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
     @classmethod
     def load(cls, path) -> "GCTIndex":
-        """Inverse of :meth:`save`."""
+        """Inverse of :meth:`save`, build profile included."""
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         if payload.get("format") != "repro-gct-index":
             raise IndexFormatError(f"{path}: not a GCT-index file")
@@ -343,4 +375,5 @@ class GCTIndex:
             vertices[int(pos)]: [tuple(edge) for edge in edges]
             for pos, edges in payload["superedges"].items()
         }
-        return cls(supernodes, superedges, vertices)
+        return cls(supernodes, superedges, vertices,
+                   BuildProfile.from_payload(payload.get("build_profile")))

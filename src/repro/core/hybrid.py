@@ -6,6 +6,10 @@ query's answer *vertices* are free — and then computes the social
 contexts online with Algorithm 2.  Context computation is the dominant
 cost, which is why GCT (contexts straight from the index) overtakes
 Hybrid as ``r`` grows (paper Figure 11).
+
+Rankings are precomputed in the canonical order of
+:mod:`repro.core.results` (descending score, ties by graph insertion
+order), so Hybrid answers are rank-identical to every other method.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph, Vertex
 from repro.core.diversity import diversity_profile, social_contexts
-from repro.core.results import SearchResult, TopEntry
+from repro.core.results import SearchResult, TopEntry, canonical_zero_fill
 from repro.core.tsd import TSDIndex
 
 
@@ -44,12 +48,13 @@ class HybridSearcher:
             v: index.score_profile(v) for v in index.vertices
         }
         max_k = max((max(p) for p in profiles.values() if p), default=1)
+        position = {v: i for i, v in enumerate(index.vertices)}
         rankings: Dict[int, List[Tuple[Vertex, int]]] = {}
         for k in range(2, max_k + 1):
             scored = [(v, profiles[v].get(k, 0)) for v in index.vertices]
-            # Stable sort keeps insertion order among ties, matching the
-            # other methods' deterministic tie handling.
-            scored.sort(key=lambda pair: -pair[1])
+            # The canonical ranking contract (repro.core.results):
+            # descending score, ties broken by graph insertion order.
+            scored.sort(key=lambda pair: (-pair[1], position[pair[0]]))
             rankings[k] = scored
         return cls(graph, rankings)
 
@@ -61,29 +66,35 @@ class HybridSearcher:
     def top_r(self, k: int, r: int, collect_contexts: bool = True) -> SearchResult:
         """Answer a query from the tables; contexts via Algorithm 2.
 
-        ``search_space`` counts the online context computations — ``r``
-        by construction, the cost the paper's Figure 11 sweeps.
+        ``search_space`` counts the actual online context computations
+        (:func:`~repro.core.diversity.social_contexts` calls) — the cost
+        the paper's Figure 11 sweeps.  Zero-score answers and queries
+        with ``collect_contexts=False`` compute no contexts, so they
+        contribute nothing: a query beyond :attr:`max_k` reports 0.
         """
         if k < 2:
             raise InvalidParameterError(f"k must be >= 2, got {k}")
         if r < 1:
             raise InvalidParameterError(f"r must be >= 1, got {r}")
         start = time.perf_counter()
+        r = min(r, max(self._graph.num_vertices, 1))
         ranking = self._rankings.get(k)
         if ranking is None:
             # k beyond every ego's trussness: all scores are zero.
             ranking = [(v, 0) for v in self._graph.vertices()]
-        answer = ranking[:min(r, len(ranking))]
+        answer = canonical_zero_fill(ranking[:r], r, self._graph.vertices())
+        search_space = 0
         entries = []
         for vertex, score in answer:
             if collect_contexts and score > 0:
                 contexts = tuple(frozenset(c)
                                  for c in social_contexts(self._graph, vertex, k))
+                search_space += 1
             else:
                 contexts = tuple(frozenset() for _ in range(score))
             entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
         return SearchResult(
             method="hybrid", k=k, r=r, entries=entries,
-            search_space=len(answer),
+            search_space=search_space,
             elapsed_seconds=time.perf_counter() - start,
         )

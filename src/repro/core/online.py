@@ -4,6 +4,10 @@ Computes ``score(v)`` for *every* vertex with Algorithm 2 and keeps the
 ``r`` best in a bounded answer set.  No pruning, no index: the method
 every optimisation in the paper is measured against (Table 2 column
 ``baseline``).
+
+Answers follow the canonical ranking contract of
+:mod:`repro.core.results`: descending score, ties broken by graph
+insertion order.
 """
 
 from __future__ import annotations
@@ -14,7 +18,12 @@ from typing import Optional
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.core.diversity import structural_diversity, social_contexts
-from repro.core.results import SearchResult, TopEntry, TopRCollector
+from repro.core.results import (
+    CanonicalTopR,
+    SearchResult,
+    build_entries,
+    canonical_zero_fill,
+)
 
 
 def online_search(graph: Graph, k: int, r: int,
@@ -46,14 +55,12 @@ def online_search(graph: Graph, k: int, r: int,
         raise InvalidParameterError(f"r must be >= 1, got {r}")
     start = time.perf_counter()
     r = min(r, max(graph.num_vertices, 1))
-    collector = TopRCollector(r)
+    collector = CanonicalTopR(r, graph.vertex_index)
     for v in graph.vertices():
         collector.offer(v, structural_diversity(graph, v, k))
-    entries = []
-    for vertex, score in collector.ranked():
-        contexts = (tuple(frozenset(c) for c in social_contexts(graph, vertex, k))
-                    if collect_contexts else tuple(frozenset() for _ in range(score)))
-        entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
+    ranked = canonical_zero_fill(collector.ranked(), r, graph.vertices())
+    entries = build_entries(
+        ranked, lambda v: social_contexts(graph, v, k), collect_contexts)
     return SearchResult(
         method="baseline", k=k, r=r, entries=entries,
         search_space=graph.num_vertices,

@@ -1,4 +1,4 @@
-"""Result containers shared by every top-r search method.
+"""Result containers and the canonical ranking contract for top-r search.
 
 The problem statement (paper Section 2.3) asks for the ``r`` vertices
 with the highest truss-based structural diversity *and their social
@@ -6,13 +6,37 @@ contexts*.  :class:`SearchResult` carries exactly that, plus the two
 efficiency metrics the paper's tables report: wall-clock time and
 *search space* (the number of vertices whose structural diversity was
 actually computed — Table 2's pruning metric).
+
+The canonical ranking contract
+------------------------------
+Every search method (baseline, bound, TSD, GCT, hybrid) and the
+:mod:`repro.engine` facade answer the *same* query, so they must return
+the *same ranked vertex list* — not merely the same score multiset.
+Scores alone do not determine the answer: a score tie at the answer-set
+boundary admits several equally-valid vertex sets, and before this
+contract existed each method resolved the tie in its own scan order
+(the TSD index in bound order, the baseline in graph order, …).
+
+The contract, enforced by :class:`CanonicalTopR` and
+:func:`canonical_zero_fill`:
+
+* vertices are ranked by **descending score**;
+* ties are broken by **graph insertion order** (ascending
+  :meth:`~repro.graph.graph.Graph.vertex_index`), *regardless of the
+  order in which a method happens to visit vertices*.
+
+Equivalently: the answer is the first ``r`` entries of all vertices
+sorted by ``(-score, insertion_index)``.  Pruned scans uphold it by
+terminating only when the next upper bound is *strictly below* the
+answer threshold (a bound equal to the threshold could still displace a
+tied vertex with a later insertion index).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Vertex
@@ -92,6 +116,13 @@ class TopRCollector:
     min-heap: a candidate replaces the current minimum only when its
     score is strictly greater, matching the paper's line
     ``score(v) > min_{v'∈S} score(v')``.
+
+    .. note::
+       Ties are resolved in *offer order*, which depends on the caller's
+       scan order.  The search methods themselves use
+       :class:`CanonicalTopR`, which resolves ties by graph insertion
+       order independent of scan order (the canonical ranking contract
+       in the module docstring).
     """
 
     __slots__ = ("_r", "_heap", "_tick")
@@ -139,3 +170,126 @@ class TopRCollector:
         """
         ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
         return [(vertex, score) for score, _, vertex in ordered]
+
+
+class CanonicalTopR:
+    """Bounded answer set enforcing the canonical ranking contract.
+
+    Keeps the ``r`` best vertices under the total order
+    ``(-score, insertion_index)``: higher scores win, and among equal
+    scores the vertex inserted into the graph *earlier* wins.  Unlike
+    :class:`TopRCollector`, the outcome is independent of the order in
+    which candidates are offered, so a bound-ordered pruned scan and a
+    plain graph-order scan select exactly the same vertices.
+
+    Parameters
+    ----------
+    r:
+        Answer-set capacity (≥ 1).
+    position:
+        Maps a vertex to its graph insertion index (typically
+        ``graph.vertex_index`` or a precomputed dict's ``__getitem__``).
+
+    Examples
+    --------
+    >>> c = CanonicalTopR(2, position={"a": 0, "b": 1, "c": 2}.__getitem__)
+    >>> for v in ("c", "b", "a"):   # offered in reverse insertion order
+    ...     _ = c.offer(v, 1)
+    >>> c.ranked()                  # ...but ranked in insertion order
+    [('a', 1), ('b', 1)]
+    """
+
+    __slots__ = ("_r", "_position", "_heap")
+
+    def __init__(self, r: int, position: Callable[[Vertex], int]) -> None:
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+        self._r = r
+        self._position = position
+        # Min-heap of (score, -insertion_index, vertex): the root is the
+        # entry the contract ranks last, i.e. the one to evict first.
+        self._heap: List[Tuple[int, int, Vertex]] = []
+
+    def offer(self, vertex: Vertex, score: int) -> bool:
+        """Consider ``(vertex, score)``; return ``True`` if it entered the set."""
+        item = (score, -self._position(vertex), vertex)
+        if len(self._heap) < self._r:
+            heapq.heappush(self._heap, item)
+            return True
+        if item[:2] > self._heap[0][:2]:
+            heapq.heapreplace(self._heap, item)
+            return True
+        return False
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the answer set already holds ``r`` vertices."""
+        return len(self._heap) >= self._r
+
+    @property
+    def threshold(self) -> int:
+        """Current minimum score in the answer set (early-stop bound).
+
+        A pruned scan may terminate only when the next upper bound is
+        *strictly below* this value — an equal bound could still hide a
+        tied vertex that wins on insertion order.
+        """
+        if not self.is_full:
+            raise InvalidParameterError("threshold undefined before the set is full")
+        return self._heap[0][0]
+
+    def ranked(self) -> List[Tuple[Vertex, int]]:
+        """``(vertex, score)`` pairs in canonical order."""
+        ordered = sorted(self._heap, key=lambda item: (-item[0], -item[1]))
+        return [(vertex, score) for score, _, vertex in ordered]
+
+
+def canonical_zero_fill(ranked: Sequence[Tuple[Vertex, int]], r: int,
+                        insertion_order: Iterable[Vertex]
+                        ) -> List[Tuple[Vertex, int]]:
+    """Complete a ranked answer to ``r`` entries with canonical zeros.
+
+    Pruned methods never visit vertices their bounds prove scoreless
+    (sparsified-away vertices, zero-bound vertices behind an early
+    termination), so their collectors may hold fewer than ``r`` positive
+    entries — or zero-score entries chosen by scan coverage rather than
+    by the contract.  All score-0 vertices tie, so the canonical answer
+    fills the remaining slots with the *earliest-inserted* vertices:
+    this drops any zero-score entries from ``ranked`` and refills from
+    ``insertion_order`` (the graph's full vertex iteration order).
+
+    The operation is idempotent: applying it to an already-canonical
+    list returns the same list.
+    """
+    entries: List[Tuple[Vertex, int]] = [
+        (vertex, score) for vertex, score in ranked if score > 0][:r]
+    if len(entries) < r:
+        have = {vertex for vertex, _ in entries}
+        for vertex in insertion_order:
+            if len(entries) >= r:
+                break
+            if vertex not in have:
+                entries.append((vertex, 0))
+    return entries
+
+
+def build_entries(ranked: Sequence[Tuple[Vertex, int]],
+                  contexts_of: Callable[[Vertex], Iterable[Iterable[Vertex]]],
+                  collect_contexts: bool = True) -> List[TopEntry]:
+    """Materialise :class:`TopEntry` objects for a canonical ranking.
+
+    ``contexts_of`` recovers the social contexts of one vertex; it is
+    invoked only for positive-score entries and only when
+    ``collect_contexts`` is set, so callers can count invocations as
+    their context-computation search space.  Entries without computed
+    contexts carry ``score`` empty placeholder frozensets, keeping the
+    :class:`TopEntry` score/context invariant.
+    """
+    entries: List[TopEntry] = []
+    for vertex, score in ranked:
+        if collect_contexts and score > 0:
+            contexts = tuple(frozenset(c) for c in contexts_of(vertex))
+        else:
+            contexts = tuple(frozenset() for _ in range(score))
+        entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
+    return entries

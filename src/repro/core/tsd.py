@@ -11,6 +11,13 @@ Queries (Algorithm 6) restrict the forest to edges of weight ≥ ``k`` and
 count/collect connected components — ``O(|N(v)|)`` per vertex, giving
 the ``O(m)`` total search cost of Theorem 3.  The index is parameter
 free: one build answers any ``(k, r)``.
+
+:meth:`TSDIndex.top_r` follows the canonical ranking contract of
+:mod:`repro.core.results` — descending score, ties broken by graph
+insertion order — even though it scans vertices in *bound* order: the
+early-termination test is strict (``bound < threshold``) and zero-score
+slots are refilled in insertion order, so the bound-ordered scan cannot
+leak its visit order into the answer.
 """
 
 from __future__ import annotations
@@ -27,7 +34,12 @@ from repro.graph.egonet import ego_network
 from repro.truss.decomposition import truss_decomposition
 from repro.core.bounds import tsd_upper_bound, count_at_least
 from repro.core.diversity import profile_from_weights
-from repro.core.results import SearchResult, TopEntry, TopRCollector
+from repro.core.results import (
+    CanonicalTopR,
+    SearchResult,
+    build_entries,
+    canonical_zero_fill,
+)
 from repro.util.dsu import DisjointSet
 from repro.util.timing import StopWatch
 
@@ -50,25 +62,90 @@ class BuildProfile:
         return (self.extraction_seconds + self.decomposition_seconds
                 + self.assembly_seconds)
 
+    def to_payload(self) -> Dict[str, float]:
+        """JSON form of this profile for index persistence."""
+        return {
+            "extraction_seconds": self.extraction_seconds,
+            "decomposition_seconds": self.decomposition_seconds,
+            "assembly_seconds": self.assembly_seconds,
+        }
+
+    @staticmethod
+    def from_payload(payload: Optional[Dict[str, float]]
+                     ) -> Optional["BuildProfile"]:
+        """Inverse of :meth:`to_payload`; ``None`` stays ``None``."""
+        if payload is None:
+            return None
+        return BuildProfile(
+            extraction_seconds=float(payload["extraction_seconds"]),
+            decomposition_seconds=float(payload["decomposition_seconds"]),
+            assembly_seconds=float(payload["assembly_seconds"]),
+        )
+
+
+def canonical_kruskal_order(vertex_list: Sequence[Vertex],
+                            edge_list: Sequence[Tuple[Edge, int]],
+                            position: Optional[Dict[Vertex, int]] = None,
+                            vertex_tau: Optional[Dict[Vertex, int]] = None
+                            ) -> List[Tuple[Edge, int]]:
+    """The deterministic Kruskal processing order shared by TSD forest
+    construction and GCT assembly (Algorithm 8).
+
+    Edges sort by descending weight; within one weight, *level-internal*
+    edges (both endpoints' vertex trussness equal to the edge weight)
+    come first, then edges order by their endpoint positions in
+    ``vertex_list``.  Level-internal-first matters: it lets every
+    same-level supernode merge happen before a cross-level edge can
+    connect the endpoints through another supernode, which makes the
+    assembled supernode partition a canonical function of the weighted
+    connectivity rather than of the caller's edge iteration order.
+    Sharing one order between forest construction and assembly is what
+    makes ``GCTIndex.compress(TSDIndex)`` structurally identical to
+    ``GCTIndex.build`` — the forest keeps exactly the edges assembly
+    would accept.
+
+    ``position`` (vertex → index in ``vertex_list``) and ``vertex_tau``
+    (vertex → max incident edge weight) may be supplied by callers that
+    already computed them; both are derived here otherwise.
+    """
+    if position is None:
+        position = {u: i for i, u in enumerate(vertex_list)}
+    if vertex_tau is None:
+        vertex_tau = {u: 0 for u in vertex_list}
+        for (u, w), tau in edge_list:
+            if tau > vertex_tau[u]:
+                vertex_tau[u] = tau
+            if tau > vertex_tau[w]:
+                vertex_tau[w] = tau
+
+    def key(item: Tuple[Edge, int]) -> Tuple[int, int, int, int]:
+        (u, w), tau = item
+        pu, pw = position[u], position[w]
+        if pu > pw:
+            pu, pw = pw, pu
+        internal = 0 if vertex_tau[u] == vertex_tau[w] == tau else 1
+        return (-tau, internal, pu, pw)
+
+    return sorted(edge_list, key=key)
+
 
 def maximum_spanning_forest(vertices: Iterable[Vertex],
                             weighted_edges: Iterable[Tuple[Edge, int]]
                             ) -> List[ForestEdge]:
-    """Kruskal's maximum spanning forest via weight buckets (Algorithm 5).
+    """Kruskal's maximum spanning forest (Algorithm 5).
 
-    Edge weights are small integers (trussness values), so bucketing by
-    weight replaces the sort and keeps construction ``O(m_v)``.  Returns
-    forest edges in descending weight order.
+    Edges are processed in :func:`canonical_kruskal_order`, so among the
+    many valid maximum spanning forests this always picks the one whose
+    GCT compression (Algorithm 8) matches a from-scratch GCT build.
+    Returns forest edges in descending weight order.
     """
-    buckets: Dict[int, List[Edge]] = {}
-    for edge, weight in weighted_edges:
-        buckets.setdefault(weight, []).append(edge)
-    dsu: DisjointSet = DisjointSet(vertices)
+    vertex_list = list(vertices)
+    edge_list = list(weighted_edges)
+    dsu: DisjointSet = DisjointSet(vertex_list)
     forest: List[ForestEdge] = []
-    for weight in sorted(buckets, reverse=True):
-        for u, w in buckets[weight]:
-            if dsu.union(u, w):
-                forest.append((u, w, weight))
+    for (u, w), weight in canonical_kruskal_order(vertex_list, edge_list):
+        if dsu.union(u, w):
+            forest.append((u, w, weight))
     return forest
 
 
@@ -139,11 +216,13 @@ class TSDIndex:
 
     def forest(self, v: Vertex) -> List[ForestEdge]:
         """The stored forest ``TSD_v`` (weight-descending edge list)."""
+        self._check_vertex(v)
         return list(self._forests[v])
 
     def score(self, v: Vertex, k: int) -> int:
         """``score(v)``: components of forest edges with weight ≥ k."""
         self._check_k(k)
+        self._check_vertex(v)
         dsu: DisjointSet = DisjointSet()
         count = 0
         for u, w, weight in self._forests[v]:
@@ -160,6 +239,7 @@ class TSDIndex:
     def contexts(self, v: Vertex, k: int) -> List[Set[Vertex]]:
         """The social contexts ``SC(v)`` recovered from the forest."""
         self._check_k(k)
+        self._check_vertex(v)
         dsu: DisjointSet = DisjointSet()
         for u, w, weight in self._forests[v]:
             if weight < k:
@@ -170,6 +250,7 @@ class TSDIndex:
     def upper_bound(self, v: Vertex, k: int) -> int:
         """The Section 5.2 pruning bound ``⌊|{w(e) ≥ k}| / (k-1)⌋``."""
         self._check_k(k)
+        self._check_vertex(v)
         return tsd_upper_bound(self._weights[v], k)
 
     def scores_for_all(self, k: int) -> Dict[Vertex, int]:
@@ -188,6 +269,7 @@ class TSDIndex:
         profile from ``n_v - 1`` forest edges equals the profile from all
         ``m_v`` ego edges.  Absent keys mean score 0.
         """
+        self._check_vertex(v)
         edges = self._forests[v]
         return profile_from_weights(
             ((u, w), weight) for u, w, weight in edges)
@@ -196,8 +278,10 @@ class TSDIndex:
         """TSD-index-based top-r search (Section 5.2).
 
         Vertices are visited in decreasing order of the TSD upper bound;
-        the scan stops as soon as the bound cannot beat the answer set's
-        minimum.  ``search_space`` counts actual score computations.
+        the scan stops as soon as the bound is *strictly below* the
+        answer set's minimum (a tied bound could still displace a tied
+        vertex with a later insertion index — the canonical ranking
+        contract).  ``search_space`` counts actual score computations.
         """
         self._check_k(k)
         if r < 1:
@@ -207,52 +291,36 @@ class TSDIndex:
         bounds = {v: tsd_upper_bound(self._weights[v], k) for v in self._vertices}
         position = {v: i for i, v in enumerate(self._vertices)}
         order = sorted(self._vertices, key=lambda v: (-bounds[v], position[v]))
-        collector = TopRCollector(r)
+        collector = CanonicalTopR(r, position.__getitem__)
         search_space = 0
         for v in order:
-            if collector.is_full and bounds[v] <= collector.threshold:
-                break
             if bounds[v] == 0:
-                # A zero bound forces a zero score — no forest scan
-                # needed, and it does not count as explored space.
-                collector.offer(v, 0)
-                continue
+                # A zero bound forces a zero score, and the descending
+                # scan order makes every remaining bound zero too; the
+                # canonical zero-fill below covers all of them.
+                break
+            if collector.is_full and bounds[v] < collector.threshold:
+                break
             collector.offer(v, self.score(v, k))
             search_space += 1
-        entries = []
-        for vertex, score in collector.ranked():
-            contexts = (tuple(frozenset(c) for c in self.contexts(vertex, k))
-                        if collect_contexts
-                        else tuple(frozenset() for _ in range(score)))
-            entries.append(TopEntry(vertex=vertex, score=score, contexts=contexts))
-        self._pad_zero_entries(entries, r)
+        ranked = canonical_zero_fill(collector.ranked(), r, self._vertices)
+        entries = build_entries(
+            ranked, lambda v: self.contexts(v, k), collect_contexts)
         return SearchResult(
             method="TSD", k=k, r=r, entries=entries,
             search_space=search_space,
             elapsed_seconds=time.perf_counter() - start,
         )
 
-    def _pad_zero_entries(self, entries: List[TopEntry], r: int) -> None:
-        """Fill the answer set to ``r`` with zero-score vertices.
-
-        The bound-ordered scan can terminate before offering every
-        vertex; any vertex it never offered has score bounded by the
-        answer threshold, and when entries are missing the threshold is
-        necessarily 0.
-        """
-        if len(entries) >= r:
-            return
-        answered = {entry.vertex for entry in entries}
-        for v in self._vertices:
-            if len(entries) >= r:
-                break
-            if v not in answered:
-                entries.append(TopEntry(vertex=v, score=0, contexts=()))
-
     @staticmethod
     def _check_k(k: int) -> None:
         if k < 2:
             raise InvalidParameterError(f"k must be >= 2, got {k}")
+
+    def _check_vertex(self, v: Vertex) -> None:
+        if v not in self._forests:
+            raise InvalidParameterError(
+                f"vertex {v!r} is not in the TSD-index")
 
     # ------------------------------------------------------------------
     # Mutation hooks for dynamic maintenance (Section 5.3 remarks)
@@ -291,7 +359,11 @@ class TSDIndex:
         return self.payload_slots() * bytes_per_slot
 
     def save(self, path) -> None:
-        """Persist as JSON (labels must be JSON-encodable)."""
+        """Persist as JSON (labels must be JSON-encodable).
+
+        The build profile, when present, rides along so a loaded index
+        still reports how its construction time was spent (Table 4).
+        """
         vertices = self._vertices
         position = {v: i for i, v in enumerate(vertices)}
         payload = {
@@ -304,11 +376,13 @@ class TSDIndex:
                 for v, edges in self._forests.items()
             },
         }
+        if self.build_profile is not None:
+            payload["build_profile"] = self.build_profile.to_payload()
         Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
     @classmethod
     def load(cls, path) -> "TSDIndex":
-        """Inverse of :meth:`save`."""
+        """Inverse of :meth:`save`, build profile included."""
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         if payload.get("format") != "repro-tsd-index":
             raise IndexFormatError(f"{path}: not a TSD-index file")
@@ -322,4 +396,5 @@ class TSDIndex:
                                  for iu, iw, weight in edges]
             for pos, edges in payload["forests"].items()
         }
-        return cls(forests, vertices)
+        return cls(forests, vertices,
+                   BuildProfile.from_payload(payload.get("build_profile")))

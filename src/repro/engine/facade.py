@@ -1,0 +1,335 @@
+"""The :class:`QueryEngine` facade: one entry point, five methods.
+
+The library exposes the paper's methods as five disconnected entry
+points (``online_search``, ``bound_search``, ``TSDIndex``, ``GCTIndex``,
+``HybridSearcher``).  A service answering heavy repeated traffic needs
+exactly one: *give me the top-r for (k, r), as cheaply as possible* —
+and all five return identical ranked answers under the canonical
+ranking contract of :mod:`repro.core.results`, so the choice is purely
+a matter of cost.  The engine:
+
+* owns the graph plus **lazily built, cached indexes** (TSD, GCT,
+  hybrid rankings) — built at most once, reused by every later query;
+* routes ``method="auto"`` through the cost-based
+  :class:`~repro.engine.planner.QueryPlanner` (explicit method names
+  override it);
+* memoises per-``k`` score maps and canonical rankings in an LRU
+  (:class:`~repro.engine.cache.ScoreMapCache`) shared across single
+  queries and batch items;
+* answers batches through :func:`repro.engine.batch.execute_batch`,
+  which plans once for the whole batch and reuses the cache across
+  items.
+
+Examples
+--------
+>>> from repro.datasets.paper import figure1_graph
+>>> from repro.engine import QueryEngine
+>>> engine = QueryEngine(figure1_graph())
+>>> result = engine.top_r(4, 1)
+>>> result.vertices, result.scores
+(['v'], [3])
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.online import online_search
+from repro.core.bound import bound_search
+from repro.core.diversity import structural_diversity
+from repro.core.results import SearchResult, build_entries
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.core.hybrid import HybridSearcher
+from repro.engine.cache import ScoreMapCache
+from repro.engine.planner import EngineConfig, PlanDecision, QueryPlanner
+
+#: Method names accepted by :meth:`QueryEngine.top_r`.
+ENGINE_METHODS = ("auto", "baseline", "bound", "tsd", "gct", "hybrid")
+
+
+@dataclass
+class EngineStats:
+    """A snapshot of what the engine has done so far."""
+
+    queries: int = 0
+    batches: int = 0
+    point_lookups: int = 0
+    method_counts: Dict[str, int] = field(default_factory=dict)
+    decisions: List[PlanDecision] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cached_thresholds: List[int] = field(default_factory=list)
+    index_build_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (``repro engine-stats``)."""
+        lines = [
+            f"queries served:    {self.queries} "
+            f"({self.batches} batches, {self.point_lookups} point lookups)",
+            "methods used:      " + (", ".join(
+                f"{m}={n}" for m, n in sorted(self.method_counts.items()))
+                or "-"),
+            f"score-map cache:   {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"(thresholds cached: {self.cached_thresholds or '-'})",
+            "indexes built:     " + (", ".join(
+                f"{name} in {seconds:.4f}s"
+                for name, seconds in sorted(self.index_build_seconds.items()))
+                or "none"),
+        ]
+        if self.decisions:
+            lines.append("planner decisions:")
+            lines.extend(f"  [{i}] {d.method}: {d.reason}"
+                         for i, d in enumerate(self.decisions))
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Unified facade over every top-r structural diversity method.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve queries on.  The engine assumes it is not
+        mutated behind its back; call :meth:`invalidate` after changing
+        it.
+    config:
+        Planner/cache tunables (:class:`EngineConfig`); defaults match
+        a small-service profile.
+
+    Examples
+    --------
+    >>> from repro.datasets.paper import figure1_graph
+    >>> engine = QueryEngine(figure1_graph())
+    >>> [r.scores for r in engine.top_r_many([(4, 1), (3, 2)])]
+    [[3], [2, 1]]
+    """
+
+    def __init__(self, graph: Graph,
+                 config: Optional[EngineConfig] = None) -> None:
+        self._graph = graph
+        self.config = config or EngineConfig()
+        self.planner = QueryPlanner(self.config)
+        self._cache = ScoreMapCache(self.config.score_cache_size)
+        self._position: Dict[Vertex, int] = {
+            v: i for i, v in enumerate(graph.vertices())}
+        self._tsd: Optional[TSDIndex] = None
+        self._gct: Optional[GCTIndex] = None
+        self._hybrid: Optional[HybridSearcher] = None
+        self._queries = 0
+        self._batches = 0
+        self._point_lookups = 0
+        self._method_counts: Dict[str, int] = {}
+        self._decisions: List[PlanDecision] = []
+        self._build_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Owned state: graph and lazily built indexes
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The graph this engine serves."""
+        return self._graph
+
+    @property
+    def tsd_index(self) -> TSDIndex:
+        """The TSD-index, built on first access and cached."""
+        if self._tsd is None:
+            start = time.perf_counter()
+            self._tsd = TSDIndex.build(self._graph)
+            self._build_seconds["tsd"] = time.perf_counter() - start
+        return self._tsd
+
+    @property
+    def gct_index(self) -> GCTIndex:
+        """The GCT-index, built on first access and cached.
+
+        When a TSD-index already exists it is *compressed* instead of
+        rebuilding from the graph — structurally identical (canonical
+        Kruskal order) and cheaper than re-extracting every ego-network.
+        """
+        if self._gct is None:
+            start = time.perf_counter()
+            if self._tsd is not None:
+                self._gct = GCTIndex.compress(self._tsd)
+            else:
+                self._gct = GCTIndex.build(self._graph)
+            self._build_seconds["gct"] = time.perf_counter() - start
+        return self._gct
+
+    @property
+    def hybrid_searcher(self) -> HybridSearcher:
+        """The hybrid per-``k`` rankings, built on first access."""
+        if self._hybrid is None:
+            start = time.perf_counter()
+            self._hybrid = HybridSearcher.precompute(
+                self._graph, index=self.tsd_index)
+            self._build_seconds["hybrid"] = time.perf_counter() - start
+        return self._hybrid
+
+    def invalidate(self) -> None:
+        """Drop all indexes and cached score maps (graph was mutated)."""
+        self._tsd = None
+        self._gct = None
+        self._hybrid = None
+        self._cache.clear()
+        self._position = {v: i for i, v in enumerate(self._graph.vertices())}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_r(self, k: int, r: int, method: str = "auto",
+              collect_contexts: bool = True) -> SearchResult:
+        """Top-r structural diversity search through the planner.
+
+        ``method="auto"`` lets the cost-based planner pick; any explicit
+        method name from :data:`ENGINE_METHODS` overrides it.  All
+        methods return the same canonically ranked answer — only the
+        cost differs.
+        """
+        self._check_query(k, r)
+        resolved = self._resolve(method, batch_size=1)
+        result = self._serve(k, r, resolved, collect_contexts)
+        self._queries += 1
+        return result
+
+    def top_r_many(self, queries: Sequence[Tuple[int, int]],
+                   method: str = "auto",
+                   collect_contexts: bool = True) -> List[SearchResult]:
+        """Answer a batch of ``(k, r)`` queries, amortising shared work.
+
+        The planner decides once for the whole batch; items sharing a
+        threshold ``k`` reuse one cached score map and ranking.  Results
+        come back in input order.
+        """
+        from repro.engine.batch import execute_batch
+        return execute_batch(self, queries, method=method,
+                             collect_contexts=collect_contexts)
+
+    def score(self, v: Vertex, k: int) -> int:
+        """``score(v)`` at threshold ``k``, from the cheapest source.
+
+        Prefers a cached score map, then a built index, and only falls
+        back to the from-scratch Algorithm 2 when the engine has built
+        nothing yet (a point lookup alone does not justify an index).
+        """
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if v not in self._graph:
+            raise InvalidParameterError(
+                f"vertex {v!r} is not in the engine's graph")
+        self._point_lookups += 1
+        entry = self._cache.get(k)
+        if entry is not None:
+            return entry[0][v]
+        if self._gct is not None:
+            return self._gct.score(v, k)
+        if self._tsd is not None:
+            return self._tsd.score(v, k)
+        return structural_diversity(self._graph, v, k)
+
+    def stats(self) -> EngineStats:
+        """A snapshot of queries, planner decisions, cache and builds."""
+        return EngineStats(
+            queries=self._queries,
+            batches=self._batches,
+            point_lookups=self._point_lookups,
+            method_counts=dict(self._method_counts),
+            decisions=list(self._decisions),
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cached_thresholds=self._cache.cached_thresholds(),
+            index_build_seconds=dict(self._build_seconds),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals (also used by the batch executor)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_query(k: int, r: int) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+
+    def _resolve(self, method: str, batch_size: int) -> str:
+        """Map ``method`` to a concrete method name, consulting the
+        planner for ``"auto"`` and recording its decision."""
+        if method not in ENGINE_METHODS:
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of {ENGINE_METHODS}")
+        if method != "auto":
+            return method
+        decision = self.planner.choose(
+            num_edges=self._graph.num_edges,
+            queries_seen=self._queries,
+            batch_size=batch_size,
+            # A TSD index counts too: GCT compresses from it cheaply.
+            index_ready=self._gct is not None or self._tsd is not None,
+        )
+        self._decisions.append(decision)
+        return decision.method
+
+    def _serve(self, k: int, r: int, method: str,
+               collect_contexts: bool) -> SearchResult:
+        """Run one concrete method (no planning, no query counting)."""
+        self._method_counts[method] = self._method_counts.get(method, 0) + 1
+        if method == "baseline":
+            return online_search(self._graph, k, r,
+                                 collect_contexts=collect_contexts)
+        if method == "bound":
+            return bound_search(self._graph, k, r,
+                                collect_contexts=collect_contexts)
+        if method == "tsd":
+            return self.tsd_index.top_r(k, r,
+                                        collect_contexts=collect_contexts)
+        if method == "hybrid":
+            return self.hybrid_searcher.top_r(
+                k, r, collect_contexts=collect_contexts)
+        return self._serve_from_gct(k, r, collect_contexts)
+
+    def _serve_from_gct(self, k: int, r: int,
+                        collect_contexts: bool) -> SearchResult:
+        """GCT answer through the per-``k`` score-map cache.
+
+        On a cache miss the engine scores every vertex once (Lemma 3)
+        and memoises both the map and the canonical ranking; on a hit
+        the answer is a slice of the cached ranking.  ``search_space``
+        reports actual score computations: ``|V|`` on a miss, 0 on a
+        hit.
+        """
+        start = time.perf_counter()
+        entry = self._cache.get(k)
+        if entry is None:
+            index = self.gct_index
+            score_map = index.scores_for_all(k)
+            ranking = sorted(
+                score_map.items(),
+                key=lambda pair: (-pair[1], self._position[pair[0]]))
+            self._cache.put(k, score_map, ranking)
+            search_space = len(score_map)
+        else:
+            _, ranking = entry
+            search_space = 0
+        index = self.gct_index
+        answer = ranking[:min(r, len(ranking))]
+        entries = build_entries(
+            answer, lambda v: index.contexts(v, k), collect_contexts)
+        return SearchResult(
+            method="GCT", k=k, r=min(r, max(len(ranking), 1)),
+            entries=entries, search_space=search_space,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = [name for name, obj in (("tsd", self._tsd), ("gct", self._gct),
+                                        ("hybrid", self._hybrid))
+                 if obj is not None]
+        return (f"QueryEngine(|V|={self._graph.num_vertices}, "
+                f"|E|={self._graph.num_edges}, "
+                f"indexes={built or 'none'}, queries={self._queries})")

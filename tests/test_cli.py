@@ -35,7 +35,8 @@ class TestStats:
 
 
 class TestTopr:
-    @pytest.mark.parametrize("method", ["baseline", "bound", "tsd", "gct"])
+    @pytest.mark.parametrize("method", ["baseline", "bound", "tsd", "gct",
+                                        "hybrid", "auto"])
     def test_methods_agree(self, figure1_file, capsys, method):
         path, v_id = figure1_file
         assert main(["topr", path, "-k", "4", "-r", "1",
@@ -43,10 +44,34 @@ class TestTopr:
         out = capsys.readouterr().out
         assert f"{v_id}: score=3" in out
 
+    def test_auto_prints_planner_reason(self, figure1_file, capsys):
+        path, _ = figure1_file
+        assert main(["topr", path, "-k", "4", "-r", "1",
+                     "--method", "auto"]) == 0
+        assert "planner:" in capsys.readouterr().out
+
     def test_contexts_flag(self, figure1_file, capsys):
         path, _ = figure1_file
         assert main(["topr", path, "-k", "4", "-r", "1", "--contexts"]) == 0
         assert "context:" in capsys.readouterr().out
+
+
+class TestEngineStats:
+    def test_engine_stats_workload(self, figure1_file, capsys):
+        path, v_id = figure1_file
+        assert main(["engine-stats", path,
+                     "--queries", "4:1,3:2,4:3"]) == 0
+        out = capsys.readouterr().out
+        assert "queries served:    3" in out
+        assert "planner decisions" in out
+        assert "score-map cache" in out
+        assert f"{v_id!r}:3" in out or "top=" in out
+
+    def test_engine_stats_forced_method(self, figure1_file, capsys):
+        path, _ = figure1_file
+        assert main(["engine-stats", path, "--queries", "4:1",
+                     "--method", "baseline"]) == 0
+        assert "baseline=1" in capsys.readouterr().out
 
 
 class TestScore:

@@ -10,7 +10,7 @@ import json
 import pytest
 from hypothesis import given, settings
 
-from repro.errors import ReproError, IndexFormatError
+from repro.errors import ReproError, IndexFormatError, InvalidParameterError
 from repro.graph.graph import Graph
 from repro.graph.io import read_json_graph
 from repro.core.diversity import structural_diversity, social_contexts
@@ -92,12 +92,12 @@ class TestExtremeThresholds:
 class TestUnknownVertices:
     def test_index_score_unknown_vertex(self, triangle):
         index = TSDIndex.build(triangle)
-        with pytest.raises(KeyError):
+        with pytest.raises(InvalidParameterError, match="ghost"):
             index.score("ghost", 3)
 
     def test_gct_unknown_vertex(self, triangle):
         index = GCTIndex.build(triangle)
-        with pytest.raises(KeyError):
+        with pytest.raises(InvalidParameterError, match="ghost"):
             index.score("ghost", 3)
 
     def test_contains_protocol(self, triangle):

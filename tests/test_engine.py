@@ -1,0 +1,235 @@
+"""Tests for the query engine: facade, planner, cache, batching."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.core.online import online_search
+from repro.engine import (
+    ENGINE_METHODS,
+    EngineConfig,
+    PlanDecision,
+    QueryEngine,
+    QueryPlanner,
+    ScoreMapCache,
+)
+
+
+def _ranked(result):
+    return [(entry.vertex, entry.score) for entry in result.entries]
+
+
+class TestPlanner:
+    def _planner(self, **overrides):
+        return QueryPlanner(EngineConfig(**overrides))
+
+    def test_one_shot_small_graph_goes_online(self):
+        decision = self._planner(small_graph_edges=100).choose(
+            num_edges=50, queries_seen=0, batch_size=1, index_ready=False)
+        assert decision.method == "baseline"
+
+    def test_one_shot_large_graph_goes_bound(self):
+        decision = self._planner(small_graph_edges=100).choose(
+            num_edges=50_000, queries_seen=0, batch_size=1, index_ready=False)
+        assert decision.method == "bound"
+
+    def test_repeated_traffic_builds_index(self):
+        decision = self._planner(index_reuse_threshold=2).choose(
+            num_edges=50, queries_seen=1, batch_size=1, index_ready=False)
+        assert decision.method == "gct"
+
+    def test_batches_build_index(self):
+        decision = self._planner().choose(
+            num_edges=50, queries_seen=0, batch_size=8, index_ready=False)
+        assert decision.method == "gct"
+
+    def test_built_index_always_wins(self):
+        decision = self._planner(small_graph_edges=10**9).choose(
+            num_edges=5, queries_seen=0, batch_size=1, index_ready=True)
+        assert decision.method == "gct"
+
+    def test_decisions_carry_reasons(self):
+        decision = self._planner().choose(
+            num_edges=5, queries_seen=0, batch_size=1, index_ready=False)
+        assert isinstance(decision, PlanDecision) and decision.reason
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            EngineConfig(index_reuse_threshold=0)
+        with pytest.raises(InvalidParameterError):
+            EngineConfig(score_cache_size=0)
+        with pytest.raises(InvalidParameterError):
+            EngineConfig(small_graph_edges=-1)
+
+
+class TestScoreMapCache:
+    def test_lru_eviction(self):
+        cache = ScoreMapCache(maxsize=2)
+        cache.put(2, {"a": 1}, [("a", 1)])
+        cache.put(3, {"a": 2}, [("a", 2)])
+        assert cache.get(2) is not None      # refresh 2
+        cache.put(4, {"a": 3}, [("a", 3)])   # evicts 3
+        assert 3 not in cache and 2 in cache and 4 in cache
+
+    def test_hit_miss_accounting(self):
+        cache = ScoreMapCache(maxsize=2)
+        assert cache.get(5) is None
+        cache.put(5, {}, [])
+        assert cache.get(5) == ({}, [])
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ScoreMapCache(maxsize=0)
+
+
+class TestEngineAnswers:
+    def test_every_method_matches_baseline(self, figure1):
+        engine = QueryEngine(figure1)
+        for method in ENGINE_METHODS:
+            for k, r in ((2, 3), (3, 5), (4, 1)):
+                expected = _ranked(online_search(figure1, k, r))
+                assert _ranked(engine.top_r(k, r, method=method)) == expected, \
+                    (method, k, r)
+
+    def test_auto_on_paper_example(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.top_r(4, 1, method="auto")
+        assert result.vertices == ["v"] and result.scores == [3]
+
+    def test_contexts_served_from_index(self, figure1):
+        engine = QueryEngine(figure1)
+        result = engine.top_r(4, 1, method="gct")
+        assert set(result.entries[0].contexts) == {
+            frozenset({"x1", "x2", "x3", "x4"}),
+            frozenset({"y1", "y2", "y3", "y4"}),
+            frozenset({"r1", "r2", "r3", "r4", "r5", "r6"})}
+
+    def test_unknown_method_rejected(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(figure1).top_r(3, 1, method="quantum")
+
+    def test_query_validation(self, figure1):
+        engine = QueryEngine(figure1)
+        with pytest.raises(InvalidParameterError):
+            engine.top_r(1, 1)
+        with pytest.raises(InvalidParameterError):
+            engine.top_r(3, 0)
+
+    def test_r_capped_at_n(self, triangle):
+        engine = QueryEngine(triangle)
+        assert len(engine.top_r(3, 100, method="gct").entries) == 3
+
+
+class TestEngineCaching:
+    def test_second_query_hits_cache(self, figure1):
+        engine = QueryEngine(figure1)
+        first = engine.top_r(4, 2, method="gct")
+        second = engine.top_r(4, 5, method="gct")
+        stats = engine.stats()
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert first.search_space == figure1.num_vertices
+        assert second.search_space == 0  # served from the cached ranking
+
+    def test_indexes_built_lazily_and_once(self, figure1):
+        engine = QueryEngine(figure1)
+        assert engine.stats().index_build_seconds == {}
+        index = engine.gct_index
+        assert engine.gct_index is index
+        assert "gct" in engine.stats().index_build_seconds
+
+    def test_gct_compressed_from_existing_tsd(self, figure1):
+        engine = QueryEngine(figure1)
+        tsd = engine.tsd_index
+        gct = engine.gct_index  # compressed, not rebuilt
+        for v in figure1.vertices():
+            assert gct.score(v, 4) == tsd.score(v, 4)
+
+    def test_invalidate_drops_state(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r(4, 2, method="gct")
+        engine.graph.add_edge("v", "new-vertex")
+        engine.invalidate()
+        result = engine.top_r(4, 1, method="gct")
+        assert result.vertices == ["v"]
+        assert engine.stats().cached_thresholds == [4]
+
+    def test_auto_uses_existing_tsd_index(self, figure1):
+        """A built TSD index counts as index_ready for the planner —
+        GCT compresses from it cheaply, so auto must not rescan."""
+        engine = QueryEngine(figure1)
+        engine.tsd_index  # force the build
+        engine.top_r(4, 1, method="auto")
+        assert engine.stats().decisions[-1].method == "gct"
+
+    def test_score_misses_are_counted(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.score("v", 4)                     # nothing cached: a miss
+        assert engine.stats().cache_misses == 1
+
+    def test_score_uses_cheapest_source(self, figure1):
+        engine = QueryEngine(figure1)
+        assert engine.score("v", 4) == 3        # no index: Algorithm 2
+        engine.top_r(4, 1, method="gct")
+        assert engine.score("v", 4) == 3        # cached score map
+        assert engine.stats().point_lookups == 2
+
+    def test_score_validation(self, figure1):
+        engine = QueryEngine(figure1)
+        with pytest.raises(InvalidParameterError, match="ghost"):
+            engine.score("ghost", 4)
+        with pytest.raises(InvalidParameterError):
+            engine.score("v", 1)
+
+
+class TestBatching:
+    def test_results_in_input_order(self, figure1):
+        queries = [(4, 1), (2, 3), (4, 5), (3, 2)]
+        engine = QueryEngine(figure1)
+        results = engine.top_r_many(queries)
+        for (k, r), result in zip(queries, results):
+            assert result.k == k
+            assert _ranked(result) == _ranked(online_search(figure1, k, r))
+
+    def test_batch_shares_score_maps(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r_many([(4, 1), (4, 2), (4, 3), (3, 1), (3, 2)])
+        stats = engine.stats()
+        assert stats.cache_misses == 2          # one per distinct k
+        assert stats.cache_hits == 3
+        assert stats.batches == 1 and stats.queries == 5
+
+    def test_empty_batch(self, figure1):
+        engine = QueryEngine(figure1)
+        assert engine.top_r_many([]) == []
+        assert engine.stats().batches == 0
+
+    def test_batch_validates_before_running(self, figure1):
+        engine = QueryEngine(figure1)
+        with pytest.raises(InvalidParameterError):
+            engine.top_r_many([(4, 1), (1, 1)])
+        assert engine.stats().queries == 0
+
+    def test_batch_plans_once(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r_many([(3, 1), (4, 1), (5, 1)])
+        assert len(engine.stats().decisions) == 1
+        assert engine.stats().decisions[0].method == "gct"
+
+
+class TestStats:
+    def test_summary_mentions_everything(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r(4, 1)
+        engine.top_r_many([(3, 2), (3, 4)])
+        text = engine.stats().summary()
+        assert "queries served" in text
+        assert "planner decisions" in text
+        assert "cache" in text
+
+    def test_stats_are_snapshots(self, figure1):
+        engine = QueryEngine(figure1)
+        before = engine.stats()
+        engine.top_r(4, 1)
+        assert before.queries == 0
+        assert engine.stats().queries == 1

@@ -121,6 +121,19 @@ class TestCompression:
             for k in (2, 3, 4, 5):
                 assert compressed.score(v, k) == built.score(v, k)
 
+    @given(dense_graph_strategy())
+    @settings(max_examples=25)
+    def test_compress_structurally_equals_build(self, g):
+        """Regression: compress used to order ego vertices by repr and
+        inherit the forest's arbitrary tie-breaks, so member tuples and
+        superedges differed from a fresh build.  The canonical Kruskal
+        order makes the two payloads identical."""
+        built = GCTIndex.build(g)
+        compressed = GCTIndex.compress(TSDIndex.build(g))
+        for v in g.vertices():
+            assert compressed.supernodes(v) == built.supernodes(v), v
+            assert compressed.superedges(v) == built.superedges(v), v
+
     def test_compressed_smaller_than_tsd(self, medium_graph):
         tsd = TSDIndex.build(medium_graph)
         gct = GCTIndex.compress(tsd)
@@ -148,3 +161,24 @@ class TestPersistence:
         index = GCTIndex.build(figure1)
         with pytest.raises(InvalidParameterError):
             index.score("v", 0)
+
+    def test_build_profile_survives_round_trip(self, figure1, tmp_path):
+        """Regression: load used to silently drop the build profile."""
+        index = GCTIndex.build(figure1)
+        path = tmp_path / "gct.json"
+        index.save(path)
+        loaded = GCTIndex.load(path)
+        assert loaded.build_profile == index.build_profile
+
+
+class TestUnknownVertexErrors:
+    def test_queries_raise_typed_error_naming_vertex(self, figure1):
+        """Regression: un-indexed vertices used to raise bare KeyError."""
+        index = GCTIndex.build(figure1)
+        for call in (lambda: index.score("ghost", 3),
+                     lambda: index.contexts("ghost", 3),
+                     lambda: index.supernodes("ghost"),
+                     lambda: index.superedges("ghost"),
+                     lambda: index.score_profile("ghost")):
+            with pytest.raises(InvalidParameterError, match="ghost"):
+                call()

@@ -31,6 +31,19 @@ class TestHybrid:
         assert hybrid.top_r(4, 1).search_space == 1
         assert hybrid.top_r(2, 5).search_space == 5
 
+    def test_search_space_counts_actual_context_calls(self, figure1):
+        """Regression: search_space must count social_contexts calls,
+        not answer length — zero with collect_contexts=False, zero for
+        all-zero answers beyond max_k, and only positive-score entries
+        otherwise."""
+        hybrid = HybridSearcher.precompute(figure1)
+        assert hybrid.top_r(4, 5, collect_contexts=False).search_space == 0
+        assert hybrid.top_r(99, 3).search_space == 0
+        result = hybrid.top_r(4, figure1.num_vertices)
+        positives = sum(1 for s in result.scores if s > 0)
+        assert result.search_space == positives
+        assert positives < len(result.entries)
+
     def test_k_above_max_returns_zeros(self, figure1):
         hybrid = HybridSearcher.precompute(figure1)
         result = hybrid.top_r(99, 3)
@@ -39,6 +52,11 @@ class TestHybrid:
     def test_max_k(self, figure1):
         hybrid = HybridSearcher.precompute(figure1)
         assert hybrid.max_k == 4
+
+    def test_r_clamped_like_other_methods(self, figure1):
+        result = HybridSearcher.precompute(figure1).top_r(4, 999)
+        assert result.r == figure1.num_vertices
+        assert len(result.entries) == figure1.num_vertices
 
     def test_validation(self, figure1):
         hybrid = HybridSearcher.precompute(figure1)

@@ -1,9 +1,16 @@
-"""Tests for result containers and the bounded top-r collector."""
+"""Tests for result containers and the bounded top-r collectors."""
 
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.core.results import SearchResult, TopEntry, TopRCollector
+from repro.core.results import (
+    CanonicalTopR,
+    SearchResult,
+    TopEntry,
+    TopRCollector,
+    build_entries,
+    canonical_zero_fill,
+)
 
 
 class TestTopEntry:
@@ -63,6 +70,93 @@ class TestTopRCollector:
         for v, s in [("a", 1), ("b", 9), ("c", 4), ("d", 7)]:
             c.offer(v, s)
         assert [s for _, s in c.ranked()] == [9, 7, 4, 1]
+
+
+class TestCanonicalTopR:
+    """The canonical ranking contract: (-score, insertion index)."""
+
+    POS = {v: i for i, v in enumerate("abcdef")}
+
+    def _collector(self, r):
+        return CanonicalTopR(r, self.POS.__getitem__)
+
+    def test_r_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CanonicalTopR(0, self.POS.__getitem__)
+
+    def test_offer_order_is_irrelevant(self):
+        forward, backward = self._collector(2), self._collector(2)
+        offers = [("a", 1), ("b", 2), ("c", 2), ("d", 1)]
+        for v, s in offers:
+            forward.offer(v, s)
+        for v, s in reversed(offers):
+            backward.offer(v, s)
+        assert forward.ranked() == backward.ranked() == [("b", 2), ("c", 2)]
+
+    def test_tied_earlier_vertex_evicts_later_one(self):
+        c = self._collector(1)
+        assert c.offer("d", 2) is True
+        assert c.offer("b", 2) is True   # same score, earlier insertion
+        assert c.offer("e", 2) is False  # same score, later insertion
+        assert c.ranked() == [("b", 2)]
+
+    def test_threshold_before_full_raises(self):
+        c = self._collector(3)
+        c.offer("a", 5)
+        with pytest.raises(InvalidParameterError):
+            _ = c.threshold
+
+    def test_threshold_tracks_minimum(self):
+        c = self._collector(2)
+        c.offer("a", 5)
+        c.offer("b", 3)
+        assert c.threshold == 3
+        c.offer("c", 4)
+        assert c.threshold == 4
+
+    def test_ranked_descending_with_positional_ties(self):
+        c = self._collector(4)
+        for v, s in [("d", 7), ("a", 1), ("b", 7), ("c", 9)]:
+            c.offer(v, s)
+        assert c.ranked() == [("c", 9), ("b", 7), ("d", 7), ("a", 1)]
+
+
+class TestCanonicalZeroFill:
+    def test_fills_from_insertion_order(self):
+        ranked = [("c", 3)]
+        assert canonical_zero_fill(ranked, 3, "abc") == \
+            [("c", 3), ("a", 0), ("b", 0)]
+
+    def test_drops_non_canonical_zeros(self):
+        # A scan that happened to visit "c" must not beat earlier "a".
+        ranked = [("b", 2), ("c", 0)]
+        assert canonical_zero_fill(ranked, 2, "abc") == [("b", 2), ("a", 0)]
+
+    def test_idempotent_on_canonical_input(self):
+        ranked = [("b", 2), ("a", 0), ("c", 0)]
+        assert canonical_zero_fill(ranked, 3, "abc") == ranked
+
+    def test_truncates_to_r(self):
+        ranked = [("a", 3), ("b", 2), ("c", 1)]
+        assert canonical_zero_fill(ranked, 2, "abc") == [("a", 3), ("b", 2)]
+
+
+class TestBuildEntries:
+    def test_contexts_only_for_positive_scores(self):
+        calls = []
+
+        def contexts_of(v):
+            calls.append(v)
+            return [{1}, {2}]
+
+        entries = build_entries([("a", 2), ("b", 0)], contexts_of)
+        assert calls == ["a"]
+        assert entries[0].contexts == (frozenset({1}), frozenset({2}))
+        assert entries[1].contexts == ()
+
+    def test_placeholders_without_collection(self):
+        entries = build_entries([("a", 2)], lambda v: [], False)
+        assert entries[0].contexts == (frozenset(), frozenset())
 
 
 class TestSearchResult:

@@ -177,6 +177,35 @@ class TestPersistence:
         assert index.payload_slots() == 3 * index.num_forest_edges + 17
         assert index.approx_size_bytes() == 8 * index.payload_slots()
 
+    def test_build_profile_survives_round_trip(self, figure1, tmp_path):
+        """Regression: load used to silently drop the build profile."""
+        index = TSDIndex.build(figure1)
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = TSDIndex.load(path)
+        assert loaded.build_profile == index.build_profile
+        assert loaded.build_profile.total_seconds >= 0.0
+
+    def test_profile_free_index_round_trips(self, figure1, tmp_path):
+        index = TSDIndex.build(figure1)
+        index.build_profile = None
+        path = tmp_path / "index.json"
+        index.save(path)
+        assert TSDIndex.load(path).build_profile is None
+
+
+class TestUnknownVertexErrors:
+    def test_queries_raise_typed_error_naming_vertex(self, figure1):
+        """Regression: un-indexed vertices used to raise bare KeyError."""
+        index = TSDIndex.build(figure1)
+        for call in (lambda: index.score("ghost", 3),
+                     lambda: index.upper_bound("ghost", 3),
+                     lambda: index.contexts("ghost", 3),
+                     lambda: index.forest("ghost"),
+                     lambda: index.score_profile("ghost")):
+            with pytest.raises(InvalidParameterError, match="ghost"):
+                call()
+
 
 class TestMutationHooks:
     def test_replace_forest_new_vertex(self, triangle):
