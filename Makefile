@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: test doctest check bench-planner benchmarks
+.PHONY: test doctest check smoke-service examples bench-planner benchmarks
 
 test:           ## tier-1 verify (ROADMAP)
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -14,8 +14,21 @@ doctest:        ## every module docstring example, executed
 
 check: test doctest
 
+smoke-service:  ## end-to-end service: store build, warm start, live updates
+	PYTHONPATH=src $(PY) examples/diversity_service.py
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_service.py
+
+examples:       ## every example script, executed (they assert their claims)
+	for script in examples/*.py; do \
+		echo "== $$script"; \
+		PYTHONPATH=src $(PY) $$script || exit 1; \
+	done
+
 bench-planner:  ## engine planner vs fixed strategies (fast)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_engine_planner.py --benchmark-disable
+
+bench-warm:     ## service warm start vs cold build (fast)
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_service_warm_start.py --benchmark-disable
 
 benchmarks:     ## full paper-reproduction report (slow)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_*.py --benchmark-disable

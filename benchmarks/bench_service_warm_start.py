@@ -1,0 +1,112 @@
+"""Service warm start: stored artifacts vs. cold build-and-serve.
+
+The :class:`repro.service.store.IndexStore` exists for one reason: a
+restarted serving process should pay JSON-load cost, not ego-network
+decomposition cost.  This benchmark measures the claim end to end on
+registry datasets:
+
+* **cold (first boot)**: a fresh :class:`QueryEngine` builds every
+  artifact, persists them to the store, and serves a repeated-traffic
+  ``(k, r)`` grid — the full cost of the process that seeds the store;
+* **warm (restart)**: an engine started with ``warm_start=`` on that
+  store serves the identical grid.
+
+Expected shape: the first boot is dominated by per-vertex ego
+extraction + truss decomposition (TSD build, GCT, hybrid rankings);
+the restart replaces all of it with a JSON parse, so the warm path
+must be **≥5x faster** (the acceptance bar).  Both runs must be
+rank-identical — warm answers come from the same artifacts, just via
+disk.
+"""
+
+import tempfile
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table, speedup
+from repro.datasets.registry import load_dataset
+from repro.engine import QueryEngine
+from repro.service import IndexStore
+
+DATASETS = ("wiki-vote", "email-enron")
+
+#: Repeated service traffic: threshold presets swept over answer sizes.
+WORKLOAD = [(k, r) for _ in range(2) for k in (3, 4, 5) for r in (1, 10, 50)]
+
+#: Acceptance bar: warm start must beat cold build-and-serve by this.
+MIN_SPEEDUP = 5.0
+
+#: Timing runs per path; the minimum filters GC/disk noise out of the
+#: speedup ratio (both paths get the same treatment).
+TRIALS = 3
+
+
+def _serve(engine):
+    return engine.top_r_many(WORKLOAD, method="gct", collect_contexts=False)
+
+
+def _run_first_boot(graph, store):
+    """Build every artifact, seed the store, serve — a cold first boot."""
+    start = time.perf_counter()
+    engine = QueryEngine(graph)
+    engine.persist(store)
+    results = _serve(engine)
+    return time.perf_counter() - start, results, engine
+
+
+def _run_warm_restart(graph, store):
+    """Load the stored artifacts and serve — a warm restart."""
+    start = time.perf_counter()
+    engine = QueryEngine(graph, warm_start=store)
+    results = _serve(engine)
+    return time.perf_counter() - start, results, engine
+
+
+def _best_of(runner, *args):
+    best = None
+    for _ in range(TRIALS):
+        elapsed, results, engine = runner(*args)
+        if best is None or elapsed < best[0]:
+            best = (elapsed, results, engine)
+    return best
+
+
+@pytest.mark.benchmark(group="service-warm-start")
+def test_warm_start_vs_cold_build(benchmark, report):
+    rows = []
+    for name in DATASETS:
+        graph = load_dataset(name)
+        with tempfile.TemporaryDirectory() as root:
+            store = IndexStore(root)
+            t_cold, cold_results, _ = _best_of(_run_first_boot, graph, store)
+            t_warm, warm_results, warm_engine = _best_of(
+                _run_warm_restart, graph, store)
+
+        # Rank-identity: disk must not change a single answer.
+        for cold, warm in zip(cold_results, warm_results):
+            expected = [(e.vertex, e.score) for e in cold.entries]
+            assert [(e.vertex, e.score) for e in warm.entries] == expected
+
+        # Zero builds on the warm path — the whole point of the store.
+        stats = warm_engine.stats()
+        assert stats.index_build_seconds == {}, stats.index_build_seconds
+        assert stats.warm_loaded, "warm start silently fell back to cold"
+
+        ratio = speedup(t_cold, t_warm) or 0.0
+        assert ratio >= MIN_SPEEDUP, \
+            f"{name}: warm start only {ratio:.1f}x faster (need ≥{MIN_SPEEDUP}x)"
+        rows.append([name, graph.num_edges, len(WORKLOAD),
+                     t_cold, t_warm, round(ratio, 1)])
+
+    report.add("Service - warm start vs cold build", format_table(
+        ["dataset", "edges", "queries", "t_cold(s)", "t_warm(s)", "speedup"],
+        rows,
+        title=f"IndexStore warm start: {len(WORKLOAD)}-query workload, "
+              "cold first boot (build+persist+serve) vs warm restart"))
+
+    graph = load_dataset("wiki-vote")
+    with tempfile.TemporaryDirectory() as root:
+        store = IndexStore(root)
+        QueryEngine(graph).persist(store)
+        benchmark(lambda: _run_warm_restart(graph, store))

@@ -28,6 +28,7 @@ from repro.errors import (
     EdgeNotFoundError,
     InvalidParameterError,
     IndexFormatError,
+    StoreError,
 )
 from repro.graph import Graph, GraphBuilder, ego_network, read_edge_list
 from repro.truss import (
@@ -55,6 +56,7 @@ from repro.models import (
     RandomModel,
 )
 from repro.engine import EngineConfig, QueryEngine
+from repro.service import DiversityService, IndexStore, Snapshot
 
 __version__ = "1.0.0"
 
@@ -65,6 +67,7 @@ __all__ = [
     "EdgeNotFoundError",
     "InvalidParameterError",
     "IndexFormatError",
+    "StoreError",
     "Graph",
     "GraphBuilder",
     "ego_network",
@@ -90,5 +93,8 @@ __all__ = [
     "RandomModel",
     "QueryEngine",
     "EngineConfig",
+    "DiversityService",
+    "IndexStore",
+    "Snapshot",
     "__version__",
 ]

@@ -11,6 +11,10 @@ usable without writing Python:
 * ``repro score GRAPH VERTEX -k 4``    — one vertex's score and contexts
 * ``repro build-index GRAPH OUT``      — persist a TSD or GCT index
 * ``repro query-index INDEX -k 4``     — top-r from a persisted index
+* ``repro serve-build GRAPH STORE``    — build all index artifacts into a
+  versioned :class:`~repro.service.store.IndexStore`
+* ``repro serve-warm GRAPH STORE``     — serve a workload warm from the
+  store (zero index builds), optionally applying live edge updates
 * ``repro sparsify GRAPH OUT -k 4``    — write the reduced graph
 * ``repro generate NAME OUT``          — write a registry dataset
 * ``repro communities GRAPH VERTEX``   — k-truss community search
@@ -152,6 +156,67 @@ def _cmd_query_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_build(args: argparse.Namespace) -> int:
+    from repro.service import IndexStore
+    graph = _load_graph(args.graph)
+    store = IndexStore(args.store)
+    engine = QueryEngine(graph)
+    artifacts = [name.strip() for name in args.artifacts.split(",")
+                 if name.strip()]
+    version = engine.persist(store, artifacts=artifacts)
+    build_seconds = sum(engine.stats().index_build_seconds.values())
+    print(f"stored {', '.join(version.artifact_names)} for graph "
+          f"{version.key[:12]}… as v{version.version} in {args.store} "
+          f"(built in {build_seconds:.3f}s)")
+    return 0
+
+
+def _parse_update_list(raw: str) -> List[tuple]:
+    """Parse an ``op:u:v,op:u:v,...`` update batch (``+u:v`` inserts,
+    ``-u:v`` deletes, or the spelled-out op names)."""
+    from repro.errors import InvalidParameterError
+    ops = {"insert": "insert", "+": "insert", "delete": "delete", "-": "delete"}
+    updates = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part[0] in "+-":
+            op_text, rest = part[0], part[1:]
+        else:
+            op_text, _, rest = part.partition(":")
+        u_text, sep, v_text = rest.partition(":")
+        if op_text not in ops or not sep:
+            raise InvalidParameterError(
+                f"bad update item {part!r}: expected op:u:v with op one of "
+                "insert/delete (or +u:v / -u:v)")
+        updates.append((ops[op_text], _parse_vertex(u_text),
+                        _parse_vertex(v_text)))
+    return updates
+
+
+def _cmd_serve_warm(args: argparse.Namespace) -> int:
+    from repro.service import DiversityService, IndexStore
+    graph = _load_graph(args.graph)
+    store = IndexStore(args.store)
+    if not store.has(graph):
+        print(f"error: {args.store} has no stored indexes for this graph's "
+              "content; run `repro serve-build` first", file=sys.stderr)
+        return 1
+    service = DiversityService.warm(graph, store)
+    queries = _parse_query_list(args.queries)
+    for result in service.top_r_many(queries):
+        print(result.summary())
+    if args.updates:
+        report = service.apply_updates(_parse_update_list(args.updates))
+        print(report.summary())
+        for result in service.top_r_many(queries):
+            print(result.summary())
+    print()
+    print(service.stats_summary())
+    return 0
+
+
 def _cmd_sparsify(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     reduced, stats = sparsify_with_stats(graph, args.k)
@@ -270,6 +335,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=3)
     p.add_argument("-r", type=int, default=10)
     p.set_defaults(func=_cmd_query_index)
+
+    p = sub.add_parser("serve-build",
+                       help="build index artifacts into a versioned store "
+                            "for later warm starts")
+    p.add_argument("graph")
+    p.add_argument("store", help="index-store directory (created if missing)")
+    p.add_argument("--artifacts", default="tsd,gct,hybrid",
+                   help="comma-separated artifacts to persist "
+                        "(default: %(default)s)")
+    p.set_defaults(func=_cmd_serve_build)
+
+    p = sub.add_parser("serve-warm",
+                       help="serve a workload warm from a store — zero "
+                            "index builds")
+    p.add_argument("graph")
+    p.add_argument("store", help="index-store directory")
+    p.add_argument("--queries", default="3:10,4:10,3:5,5:10,4:3",
+                   help="workload as comma-separated k:r pairs "
+                        "(default: %(default)s)")
+    p.add_argument("--updates", default="",
+                   help="live edge updates applied after the workload, as "
+                        "comma-separated +u:v (insert) / -u:v (delete) "
+                        "items; the workload is then replayed on the new "
+                        "snapshot")
+    p.set_defaults(func=_cmd_serve_warm)
 
     p = sub.add_parser("sparsify", help="write the Property-1 reduced graph")
     p.add_argument("graph")

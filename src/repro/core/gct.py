@@ -333,8 +333,13 @@ class GCTIndex:
         """Size estimate for the Table 3 comparison."""
         return self.payload_slots() * bytes_per_slot
 
-    def save(self, path) -> None:
-        """Persist as JSON (labels must be JSON-encodable)."""
+    def to_payload(self) -> Dict:
+        """The JSON-encodable artifact form of this index.
+
+        Shared by :meth:`save` and the service layer's
+        :class:`~repro.service.store.IndexStore` (labels must be
+        JSON-encodable).
+        """
         vertices = self._vertices
         position = {v: i for i, v in enumerate(vertices)}
         payload = {
@@ -353,17 +358,17 @@ class GCTIndex:
         }
         if self.build_profile is not None:
             payload["build_profile"] = self.build_profile.to_payload()
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        return payload
 
     @classmethod
-    def load(cls, path) -> "GCTIndex":
-        """Inverse of :meth:`save`, build profile included."""
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    def from_payload(cls, payload: Dict, source: str = "<payload>"
+                     ) -> "GCTIndex":
+        """Inverse of :meth:`to_payload`; ``source`` labels errors."""
         if payload.get("format") != "repro-gct-index":
-            raise IndexFormatError(f"{path}: not a GCT-index file")
+            raise IndexFormatError(f"{source}: not a GCT-index payload")
         if payload.get("version") != _PERSIST_VERSION:
             raise IndexFormatError(
-                f"{path}: unsupported version {payload.get('version')!r}")
+                f"{source}: unsupported version {payload.get('version')!r}")
         raw = payload["vertices"]
         vertices = [tuple(v) if isinstance(v, list) else v for v in raw]
         supernodes = {
@@ -377,3 +382,13 @@ class GCTIndex:
         }
         return cls(supernodes, superedges, vertices,
                    BuildProfile.from_payload(payload.get("build_profile")))
+
+    def save(self, path) -> None:
+        """Persist as JSON (labels must be JSON-encodable)."""
+        Path(path).write_text(json.dumps(self.to_payload()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "GCTIndex":
+        """Inverse of :meth:`save`, build profile included."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_payload(payload, source=str(path))

@@ -14,14 +14,18 @@ order), so Hybrid answers are rank-identical to every other method.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import InvalidParameterError
+from repro.errors import IndexFormatError, InvalidParameterError
 from repro.graph.graph import Graph, Vertex
 from repro.core.diversity import diversity_profile, social_contexts
 from repro.core.results import SearchResult, TopEntry, canonical_zero_fill
 from repro.core.tsd import TSDIndex
+
+_PERSIST_VERSION = 1
 
 
 class HybridSearcher:
@@ -62,6 +66,68 @@ class HybridSearcher:
     def max_k(self) -> int:
         """Largest ``k`` with any non-zero score (queries above return zeros)."""
         return max(self._rankings, default=1)
+
+    def rankings(self) -> Dict[int, List[Tuple[Vertex, int]]]:
+        """The precomputed per-``k`` canonical rankings (copies)."""
+        return {k: list(ranking) for k, ranking in self._rankings.items()}
+
+    # ------------------------------------------------------------------
+    # Persistence (the service layer's third warm-start artifact)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict:
+        """The JSON-encodable artifact form of the precomputed rankings.
+
+        The graph itself is *not* serialized — rankings are a derived
+        artifact, so deserialization (:meth:`from_payload`) re-attaches
+        them to the graph the caller already holds.
+        """
+        vertices = list(self._graph.vertices())
+        position = {v: i for i, v in enumerate(vertices)}
+        return {
+            "format": "repro-hybrid-rankings",
+            "version": _PERSIST_VERSION,
+            "vertices": vertices,
+            "rankings": {
+                str(k): [[position[v], score] for v, score in ranking]
+                for k, ranking in self._rankings.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, graph: Graph, payload: Dict,
+                     source: str = "<payload>") -> "HybridSearcher":
+        """Inverse of :meth:`to_payload`, re-attached to ``graph``.
+
+        The payload's vertex list must match the graph's insertion
+        order — rankings computed for a different graph would silently
+        violate the canonical ranking contract otherwise.
+        """
+        if payload.get("format") != "repro-hybrid-rankings":
+            raise IndexFormatError(f"{source}: not a hybrid-rankings payload")
+        if payload.get("version") != _PERSIST_VERSION:
+            raise IndexFormatError(
+                f"{source}: unsupported version {payload.get('version')!r}")
+        raw = payload["vertices"]
+        vertices = [tuple(v) if isinstance(v, list) else v for v in raw]
+        if vertices != list(graph.vertices()):
+            raise IndexFormatError(
+                f"{source}: rankings were precomputed for a different "
+                "graph (vertex order mismatch)")
+        rankings = {
+            int(k): [(vertices[pos], score) for pos, score in ranking]
+            for k, ranking in payload["rankings"].items()
+        }
+        return cls(graph, rankings)
+
+    def save(self, path) -> None:
+        """Persist the rankings as JSON (labels must be JSON-encodable)."""
+        Path(path).write_text(json.dumps(self.to_payload()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, graph: Graph, path) -> "HybridSearcher":
+        """Inverse of :meth:`save`, re-attached to ``graph``."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_payload(graph, payload, source=str(path))
 
     def top_r(self, k: int, r: int, collect_contexts: bool = True) -> SearchResult:
         """Answer a query from the tables; contexts via Algorithm 2.

@@ -358,11 +358,14 @@ class TSDIndex:
         """Size estimate used for the Table 3 index-size comparison."""
         return self.payload_slots() * bytes_per_slot
 
-    def save(self, path) -> None:
-        """Persist as JSON (labels must be JSON-encodable).
+    def to_payload(self) -> Dict:
+        """The JSON-encodable artifact form of this index.
 
-        The build profile, when present, rides along so a loaded index
-        still reports how its construction time was spent (Table 4).
+        Shared by :meth:`save` and the service layer's
+        :class:`~repro.service.store.IndexStore`, which persists index
+        artifacts without owning their formats.  The build profile, when
+        present, rides along so a loaded index still reports how its
+        construction time was spent (Table 4).
         """
         vertices = self._vertices
         position = {v: i for i, v in enumerate(vertices)}
@@ -378,17 +381,17 @@ class TSDIndex:
         }
         if self.build_profile is not None:
             payload["build_profile"] = self.build_profile.to_payload()
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        return payload
 
     @classmethod
-    def load(cls, path) -> "TSDIndex":
-        """Inverse of :meth:`save`, build profile included."""
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    def from_payload(cls, payload: Dict, source: str = "<payload>"
+                     ) -> "TSDIndex":
+        """Inverse of :meth:`to_payload`; ``source`` labels errors."""
         if payload.get("format") != "repro-tsd-index":
-            raise IndexFormatError(f"{path}: not a TSD-index file")
+            raise IndexFormatError(f"{source}: not a TSD-index payload")
         if payload.get("version") != _PERSIST_VERSION:
             raise IndexFormatError(
-                f"{path}: unsupported version {payload.get('version')!r}")
+                f"{source}: unsupported version {payload.get('version')!r}")
         raw = payload["vertices"]
         vertices = [tuple(v) if isinstance(v, list) else v for v in raw]
         forests = {
@@ -398,3 +401,13 @@ class TSDIndex:
         }
         return cls(forests, vertices,
                    BuildProfile.from_payload(payload.get("build_profile")))
+
+    def save(self, path) -> None:
+        """Persist as JSON (labels must be JSON-encodable)."""
+        Path(path).write_text(json.dumps(self.to_payload()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "TSDIndex":
+        """Inverse of :meth:`save`, build profile included."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_payload(payload, source=str(path))

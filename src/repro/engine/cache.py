@@ -74,6 +74,12 @@ class ScoreMapCache:
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
 
+    def entries(self) -> Dict[int, CacheEntry]:
+        """Every live entry as ``k`` → (score map, ranking), a shallow
+        copy — the snapshot hand-off reads the cache without touching
+        recency or the hit/miss statistics."""
+        return dict(self._entries)
+
     def clear(self) -> None:
         """Drop every entry (graph mutation invalidates all score maps)."""
         self._entries.clear()

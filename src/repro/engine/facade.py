@@ -65,6 +65,7 @@ class EngineStats:
     cache_misses: int = 0
     cached_thresholds: List[int] = field(default_factory=list)
     index_build_seconds: Dict[str, float] = field(default_factory=dict)
+    warm_loaded: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         """Multi-line human-readable report (``repro engine-stats``)."""
@@ -81,6 +82,8 @@ class EngineStats:
                 f"{name} in {seconds:.4f}s"
                 for name, seconds in sorted(self.index_build_seconds.items()))
                 or "none"),
+            "warm-started:      " + (", ".join(self.warm_loaded)
+                                     if self.warm_loaded else "no"),
         ]
         if self.decisions:
             lines.append("planner decisions:")
@@ -101,6 +104,15 @@ class QueryEngine:
     config:
         Planner/cache tunables (:class:`EngineConfig`); defaults match
         a small-service profile.
+    warm_start:
+        Optional :class:`~repro.service.store.IndexStore` (or a path to
+        one) holding persisted index artifacts.  When the store knows
+        this graph's content, the engine serves from the stored indexes
+        — zero build seconds, rank-identical answers.  Artifacts are
+        deserialized lazily, on the first access of each index, so a
+        workload that only ever touches GCT never pays for parsing the
+        TSD or hybrid artifacts.  An unknown graph falls back to a cold
+        start (the store can be seeded later with :meth:`persist`).
 
     Examples
     --------
@@ -111,7 +123,8 @@ class QueryEngine:
     """
 
     def __init__(self, graph: Graph,
-                 config: Optional[EngineConfig] = None) -> None:
+                 config: Optional[EngineConfig] = None,
+                 warm_start=None) -> None:
         self._graph = graph
         self.config = config or EngineConfig()
         self.planner = QueryPlanner(self.config)
@@ -127,6 +140,44 @@ class QueryEngine:
         self._method_counts: Dict[str, int] = {}
         self._decisions: List[PlanDecision] = []
         self._build_seconds: Dict[str, float] = {}
+        self._warm_loaded: List[str] = []
+        self._warm_source = None
+        self._warm_key: Optional[str] = None
+        if warm_start is not None:
+            self._warm_attach(warm_start)
+
+    def _warm_attach(self, warm_start) -> None:
+        """Bind stored artifacts so index accesses load, not build."""
+        # Imported lazily: repro.service sits on top of the engine.
+        from repro.service.store import IndexStore, graph_fingerprint
+        store = (warm_start if isinstance(warm_start, IndexStore)
+                 else IndexStore(warm_start))
+        # Fingerprint once: every later store call reuses the key
+        # instead of re-hashing the whole edge list.
+        key = graph_fingerprint(self._graph)
+        if not store.has(self._graph, key=key):
+            return  # cold start; persist() can seed the store later
+        self._warm_source = store
+        self._warm_key = key
+        self._warm_loaded = store.current(self._graph,
+                                          key=key).artifact_names
+
+    def _load_stored(self, name: str) -> bool:
+        """Deserialize one stored artifact into the engine, if bound.
+
+        Returns ``True`` when the index attribute was populated from
+        the store — the caller then skips its build path entirely.
+        """
+        if self._warm_source is None or name not in self._warm_loaded:
+            return False
+        loaded = self._warm_source.load(self._graph, names=[name],
+                                        key=self._warm_key)
+        obj = getattr(loaded, name)
+        if obj is None:
+            return False
+        setattr(self, {"tsd": "_tsd", "gct": "_gct",
+                       "hybrid": "_hybrid"}[name], obj)
+        return True
 
     # ------------------------------------------------------------------
     # Owned state: graph and lazily built indexes
@@ -139,10 +190,11 @@ class QueryEngine:
     @property
     def tsd_index(self) -> TSDIndex:
         """The TSD-index, built on first access and cached."""
-        if self._tsd is None:
+        if self._tsd is None and not self._load_stored("tsd"):
             start = time.perf_counter()
             self._tsd = TSDIndex.build(self._graph)
             self._build_seconds["tsd"] = time.perf_counter() - start
+            self.planner.observe_build("tsd", self._build_seconds["tsd"])
         return self._tsd
 
     @property
@@ -153,32 +205,94 @@ class QueryEngine:
         rebuilding from the graph — structurally identical (canonical
         Kruskal order) and cheaper than re-extracting every ego-network.
         """
-        if self._gct is None:
+        if self._gct is None and not self._load_stored("gct"):
+            if self._tsd is None:
+                # A stored TSD still beats re-decomposing every ego.
+                self._load_stored("tsd")
             start = time.perf_counter()
             if self._tsd is not None:
                 self._gct = GCTIndex.compress(self._tsd)
             else:
                 self._gct = GCTIndex.build(self._graph)
             self._build_seconds["gct"] = time.perf_counter() - start
+            self.planner.observe_build("gct", self._build_seconds["gct"])
         return self._gct
 
     @property
     def hybrid_searcher(self) -> HybridSearcher:
         """The hybrid per-``k`` rankings, built on first access."""
-        if self._hybrid is None:
+        if self._hybrid is None and not self._load_stored("hybrid"):
             start = time.perf_counter()
             self._hybrid = HybridSearcher.precompute(
                 self._graph, index=self.tsd_index)
             self._build_seconds["hybrid"] = time.perf_counter() - start
+            self.planner.observe_build("hybrid", self._build_seconds["hybrid"])
         return self._hybrid
 
     def invalidate(self) -> None:
-        """Drop all indexes and cached score maps (graph was mutated)."""
+        """Drop all indexes and cached score maps (graph was mutated).
+
+        The planner's cost calibration survives — measured build and
+        query costs describe the hardware and graph scale, which a
+        mutation does not meaningfully change.  For *fine-grained*
+        invalidation (only affected thresholds dropped, indexes patched
+        instead of discarded) serve through
+        :class:`repro.service.DiversityService` instead.
+        """
         self._tsd = None
         self._gct = None
         self._hybrid = None
+        self._warm_loaded = []
+        self._warm_source = None  # stored artifacts are stale too
+        self._warm_key = None
         self._cache.clear()
         self._position = {v: i for i, v in enumerate(self._graph.vertices())}
+
+    # ------------------------------------------------------------------
+    # Persistence and snapshot hand-off (the service layer's hooks)
+    # ------------------------------------------------------------------
+    def persist(self, store, artifacts: Sequence[str] = ("tsd", "gct",
+                                                         "hybrid")):
+        """Build (at most once) and persist index artifacts to a store.
+
+        ``store`` is an :class:`~repro.service.store.IndexStore` or a
+        path to one.  Returns the new
+        :class:`~repro.service.store.StoreVersion`, so a later engine
+        on the same graph content can pass the store as ``warm_start=``
+        and skip every build.
+        """
+        from repro.service.store import IndexStore
+        if not isinstance(store, IndexStore):
+            store = IndexStore(store)
+        known = {"tsd": lambda: self.tsd_index,
+                 "gct": lambda: self.gct_index,
+                 "hybrid": lambda: self.hybrid_searcher}
+        unknown = [name for name in artifacts if name not in known]
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown artifacts {unknown}; expected a subset of "
+                f"{sorted(known)}")
+        return store.put(self._graph,
+                         **{name: known[name]() for name in artifacts})
+
+    def snapshot(self):
+        """An immutable :class:`~repro.service.snapshot.Snapshot` of the
+        engine's current state: a private graph copy, the built indexes
+        (GCT is ensured — built or compressed now, never during a
+        reader's query), and the live score-map cache entries.
+
+        The hand-off is one-way: the snapshot serves concurrent readers
+        lock-free while the engine remains free to mutate and rebuild.
+        """
+        from repro.service.snapshot import Snapshot
+        # Pending stored artifacts join the hand-off (no builds though:
+        # tsd/hybrid stay absent unless stored or already built).
+        if self._tsd is None:
+            self._load_stored("tsd")
+        if self._hybrid is None:
+            self._load_stored("hybrid")
+        return Snapshot(self._graph, tsd=self._tsd, gct=self.gct_index,
+                        hybrid=self._hybrid, scores=self._cache.entries())
 
     # ------------------------------------------------------------------
     # Queries
@@ -245,6 +359,7 @@ class QueryEngine:
             cache_misses=self._cache.misses,
             cached_thresholds=self._cache.cached_thresholds(),
             index_build_seconds=dict(self._build_seconds),
+            warm_loaded=list(self._warm_loaded),
         )
 
     # ------------------------------------------------------------------
@@ -269,16 +384,37 @@ class QueryEngine:
             num_edges=self._graph.num_edges,
             queries_seen=self._queries,
             batch_size=batch_size,
-            # A TSD index counts too: GCT compresses from it cheaply.
-            index_ready=self._gct is not None or self._tsd is not None,
+            # A TSD index counts too (GCT compresses from it cheaply),
+            # as do stored tsd/gct artifacts pending a lazy warm load —
+            # but not a stored hybrid alone, which cannot produce a GCT
+            # without a full build.
+            index_ready=(self._gct is not None or self._tsd is not None
+                         or bool({"tsd", "gct"} & set(self._warm_loaded))),
         )
         self._decisions.append(decision)
         return decision.method
 
     def _serve(self, k: int, r: int, method: str,
                collect_contexts: bool) -> SearchResult:
-        """Run one concrete method (no planning, no query counting)."""
+        """Run one concrete method (no planning, no query counting).
+
+        Every served query's wall-clock cost is reported back to the
+        planner, which uses the measurements to calibrate its
+        index-versus-online break-even (index builds triggered inside
+        the call are charged separately via ``observe_build``, not to
+        the query that happened to trigger them).
+        """
         self._method_counts[method] = self._method_counts.get(method, 0) + 1
+        builds_before = sum(self._build_seconds.values())
+        start = time.perf_counter()
+        result = self._dispatch(k, r, method, collect_contexts)
+        elapsed = time.perf_counter() - start
+        elapsed -= sum(self._build_seconds.values()) - builds_before
+        self.planner.observe_query(method, max(elapsed, 0.0))
+        return result
+
+    def _dispatch(self, k: int, r: int, method: str,
+                  collect_contexts: bool) -> SearchResult:
         if method == "baseline":
             return online_search(self._graph, k, r,
                                  collect_contexts=collect_contexts)
@@ -302,6 +438,11 @@ class QueryEngine:
         the answer is a slice of the cached ranking.  ``search_space``
         reports actual score computations: ``|V|`` on a miss, 0 on a
         hit.
+
+        The index is touched lazily: a cache hit with
+        ``collect_contexts=False`` needs no index at all, so it must
+        not trigger a build on an engine whose cache was seeded from
+        elsewhere (a warm-started store, a snapshot hand-off).
         """
         start = time.perf_counter()
         entry = self._cache.get(k)
@@ -316,10 +457,10 @@ class QueryEngine:
         else:
             _, ranking = entry
             search_space = 0
-        index = self.gct_index
         answer = ranking[:min(r, len(ranking))]
         entries = build_entries(
-            answer, lambda v: index.contexts(v, k), collect_contexts)
+            answer, lambda v: self.gct_index.contexts(v, k),
+            collect_contexts)
         return SearchResult(
             method="GCT", k=k, r=min(r, max(len(ranking), 1)),
             entries=entries, search_space=search_space,

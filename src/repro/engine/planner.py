@@ -14,11 +14,26 @@ right choice therefore depends on the *workload*, not the query:
 :class:`QueryPlanner` encodes exactly that decision, parameterised by
 :class:`EngineConfig`.  Every decision carries a human-readable reason,
 surfaced by ``repro engine-stats`` and the engine's statistics.
+
+Calibration from measured times
+-------------------------------
+The static edge-count thresholds are priors, not measurements.  The
+engine feeds the planner every cost it actually observes —
+:meth:`QueryPlanner.observe_query` per served query,
+:meth:`QueryPlanner.observe_build` per index build — and once the
+planner has seen both a full index build and an online query it
+switches to a *measured break-even*: build the index as soon as the
+projected traffic amortises the measured build cost over the measured
+per-query saving (:meth:`QueryPlanner.break_even_queries`).  Fresh
+planners with no observations behave exactly as before, so calibration
+only ever replaces a guess with a measurement.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.errors import InvalidParameterError
 
@@ -84,9 +99,83 @@ class QueryPlanner:
     'gct'
     """
 
+    #: Methods whose measured query cost counts as "online" (no index).
+    _ONLINE_METHODS = ("baseline", "bound")
+
     def __init__(self, config: EngineConfig) -> None:
         self.config = config
+        # method -> (total seconds, observation count)
+        self._query_seconds: Dict[str, Tuple[float, int]] = {}
+        # index name -> latest measured build seconds
+        self._build_seconds: Dict[str, float] = {}
 
+    # ------------------------------------------------------------------
+    # Calibration: the engine reports what things actually cost
+    # ------------------------------------------------------------------
+    def observe_query(self, method: str, seconds: float) -> None:
+        """Record one served query's measured wall-clock cost."""
+        total, count = self._query_seconds.get(method, (0.0, 0))
+        self._query_seconds[method] = (total + seconds, count + 1)
+
+    def observe_build(self, name: str, seconds: float) -> None:
+        """Record one index build's measured wall-clock cost."""
+        self._build_seconds[name] = seconds
+
+    def measured_query_seconds(self, method: str) -> Optional[float]:
+        """Mean observed query seconds for ``method`` (``None`` unseen)."""
+        entry = self._query_seconds.get(method)
+        if entry is None or entry[1] == 0:
+            return None
+        return entry[0] / entry[1]
+
+    def measured_build_seconds(self) -> Optional[float]:
+        """Measured cost of reaching a servable GCT index from cold.
+
+        Requires a recorded ``gct`` build; a recorded ``tsd`` build is
+        added when present (the engine's cheap path builds TSD first
+        and compresses, so the cold-start cost is their sum).
+        """
+        if "gct" not in self._build_seconds:
+            return None
+        return (self._build_seconds["gct"]
+                + self._build_seconds.get("tsd", 0.0))
+
+    def _measured_online(self) -> Optional[Tuple[str, float]]:
+        """The cheapest *measured* online method and its mean seconds."""
+        candidates = [(self.measured_query_seconds(m), m)
+                      for m in self._ONLINE_METHODS]
+        measured = [(cost, m) for cost, m in candidates if cost is not None]
+        if not measured:
+            return None
+        cost, method = min(measured)
+        return method, cost
+
+    def break_even_queries(self) -> Optional[int]:
+        """Measured query count past which the index build amortises.
+
+        ``None`` while uncalibrated (no measured build or online cost),
+        and also when the measured marginal index query is *not* cheaper
+        than the online scan — then no traffic volume justifies a build.
+        """
+        build = self.measured_build_seconds()
+        online = self._measured_online()
+        if build is None or online is None:
+            return None
+        index_query = self.measured_query_seconds("gct") or 0.0
+        saving = online[1] - index_query
+        if saving <= 0:
+            return None
+        return max(1, math.ceil(build / saving))
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether measured costs (not edge-count priors) drive choices."""
+        return (self.measured_build_seconds() is not None
+                and self._measured_online() is not None)
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
     def choose(self, *, num_edges: int, queries_seen: int,
                batch_size: int = 1, index_ready: bool = False) -> PlanDecision:
         """Pick a method for the next ``batch_size`` queries.
@@ -108,6 +197,8 @@ class QueryPlanner:
                 "gct", "index already built — marginal query cost is "
                        "two binary searches per vertex")
         projected = queries_seen + batch_size
+        if self.is_calibrated:
+            return self._choose_calibrated(projected)
         if batch_size > 1 or projected >= self.config.index_reuse_threshold:
             return PlanDecision(
                 "gct", f"repeated traffic ({projected} queries so far) — "
@@ -120,3 +211,23 @@ class QueryPlanner:
         return PlanDecision(
             "bound", f"one-shot query on a large graph ({num_edges} edges) "
                      "— pruned online search avoids an index build")
+
+    def _choose_calibrated(self, projected: int) -> PlanDecision:
+        """The measured break-even decision (both costs observed)."""
+        method, online_cost = self._measured_online()
+        break_even = self.break_even_queries()
+        build = self.measured_build_seconds()
+        if break_even is None:
+            return PlanDecision(
+                method, f"calibrated: measured {method} query "
+                        f"({online_cost:.4f}s) is not beaten by the "
+                        "marginal index query — no build pays off")
+        if projected >= break_even:
+            return PlanDecision(
+                "gct", f"calibrated: {projected} queries ≥ measured "
+                       f"break-even {break_even} — the {build:.4f}s build "
+                       "amortises")
+        return PlanDecision(
+            method, f"calibrated: {projected} queries < measured "
+                    f"break-even {break_even} — {method} at "
+                    f"{online_cost:.4f}s/query stays cheaper")

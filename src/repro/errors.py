@@ -38,3 +38,8 @@ class InvalidParameterError(ReproError, ValueError):
 
 class IndexFormatError(ReproError):
     """A persisted index file is malformed or has an unsupported version."""
+
+
+class StoreError(ReproError):
+    """An :class:`~repro.service.store.IndexStore` operation failed
+    (unknown graph, missing version, or a corrupt manifest)."""

@@ -1,0 +1,200 @@
+"""Immutable :class:`Snapshot`: graph + indexes + score cache, read-only.
+
+Concurrent serving needs one property above all: *nothing a reader
+touches may change under it*.  The snapshot delivers that by
+construction — it owns a private copy of the graph, fully built
+indexes, and a per-``k`` score-map cache, none of which are ever
+mutated after publication.  A reader grabs a snapshot reference once
+(an atomic operation) and serves the whole query from it; writers
+(:mod:`repro.service.updates`) build a *new* snapshot and swap the
+reference, so readers in flight keep a consistent world and never wait
+on a lock.
+
+The one internal mutation is memoisation: scoring a threshold ``k`` not
+yet cached installs the computed ``(score map, ranking)`` into a plain
+dict.  That is safe lock-free — the value for a given ``k`` is a pure
+function of the immutable indexes, so concurrent computations are
+redundant but identical, and CPython dict assignment is atomic.
+
+Answers follow the canonical ranking contract of
+:mod:`repro.core.results`: descending score, ties broken by graph
+insertion order — rank-identical to every other method in the library.
+
+Examples
+--------
+>>> from repro.datasets.paper import figure1_graph
+>>> snap = Snapshot.build(figure1_graph())
+>>> result = snap.top_r(4, 1)
+>>> result.vertices, result.scores
+(['v'], [3])
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.core.results import SearchResult, build_entries
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.core.hybrid import HybridSearcher
+
+#: One cached threshold: the score map and the canonical ranking.
+ScoreEntry = Tuple[Dict[Vertex, int], List[Tuple[Vertex, int]]]
+
+
+class Snapshot:
+    """One immutable, fully materialised serving state.
+
+    Parameters
+    ----------
+    graph:
+        The graph this snapshot answers for.  The snapshot takes a
+        private copy, so later mutations of the caller's graph cannot
+        leak into published answers.
+    tsd, gct:
+        Built indexes.  At least one is required; GCT is preferred for
+        serving (Lemma 3 scoring), and missing GCT is compressed from
+        the TSD forests at construction time — never during a query.
+    hybrid:
+        Optional precomputed rankings, carried so the artifact lineage
+        survives snapshot hand-offs (queries do not need it).
+    scores:
+        Score-cache entries to seed (``k`` → (score map, ranking)),
+        typically the survivors of a fine-grained invalidation.
+    version, key:
+        Provenance: the store version and graph key this snapshot
+        corresponds to (0 / ``None`` for unpersisted snapshots).
+    """
+
+    __slots__ = ("_graph", "_tsd", "_gct", "_hybrid", "_scores",
+                 "_position", "version", "key")
+
+    def __init__(self, graph: Graph,
+                 tsd: Optional[TSDIndex] = None,
+                 gct: Optional[GCTIndex] = None,
+                 hybrid: Optional[HybridSearcher] = None,
+                 scores: Optional[Dict[int, ScoreEntry]] = None,
+                 version: int = 0, key: Optional[str] = None) -> None:
+        if tsd is None and gct is None:
+            raise InvalidParameterError(
+                "a snapshot needs at least one built index (tsd or gct)")
+        self._graph = graph.copy()
+        self._tsd = tsd
+        self._gct = gct if gct is not None else GCTIndex.compress(tsd)
+        self._hybrid = hybrid
+        self._scores: Dict[int, ScoreEntry] = dict(scores or {})
+        self._position: Dict[Vertex, int] = {
+            v: i for i, v in enumerate(self._graph.vertices())}
+        self.version = version
+        self.key = key
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: Graph) -> "Snapshot":
+        """Cold-build a snapshot straight from a graph (TSD then GCT)."""
+        tsd = TSDIndex.build(graph)
+        return cls(graph, tsd=tsd, gct=GCTIndex.compress(tsd))
+
+    # ------------------------------------------------------------------
+    # Read-only state
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The snapshot's graph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def tsd(self) -> Optional[TSDIndex]:
+        """The TSD index, when this snapshot carries one."""
+        return self._tsd
+
+    @property
+    def gct(self) -> Optional[GCTIndex]:
+        """The GCT index the snapshot serves from."""
+        return self._gct
+
+    @property
+    def hybrid(self) -> Optional[HybridSearcher]:
+        """The hybrid rankings, when this snapshot carries them."""
+        return self._hybrid
+
+    def cached_thresholds(self) -> List[int]:
+        """Thresholds with a materialised score map, ascending."""
+        return sorted(self._scores)
+
+    def score_entries(self) -> Dict[int, ScoreEntry]:
+        """The cached entries (shallow copy) — update-path input."""
+        return dict(self._scores)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _entry(self, k: int) -> Tuple[ScoreEntry, bool]:
+        """The ``(score map, ranking)`` for ``k``; computes+memoises on
+        first use.  Returns ``(entry, was_cached)``."""
+        entry = self._scores.get(k)
+        if entry is not None:
+            return entry, True
+        score_map = self._gct.scores_for_all(k)
+        ranking = sorted(
+            score_map.items(),
+            key=lambda pair: (-pair[1], self._position[pair[0]]))
+        entry = (score_map, ranking)
+        self._scores[k] = entry  # atomic publish; idempotent recompute
+        return entry, False
+
+    def score(self, v: Vertex, k: int) -> int:
+        """``score(v)`` at threshold ``k`` (cached map, else Lemma 3)."""
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if v not in self._graph:
+            raise InvalidParameterError(
+                f"vertex {v!r} is not in this snapshot's graph")
+        entry = self._scores.get(k)
+        if entry is not None:
+            return entry[0][v]
+        return self._gct.score(v, k)
+
+    def contexts(self, v: Vertex, k: int) -> List[Set[Vertex]]:
+        """Social contexts of ``v`` at threshold ``k``."""
+        return self._gct.contexts(v, k)
+
+    def top_r(self, k: int, r: int,
+              collect_contexts: bool = True) -> SearchResult:
+        """Canonical top-r answer served from this snapshot.
+
+        ``search_space`` counts actual score computations: ``|V|`` when
+        this call materialised the threshold, 0 when it was served from
+        the snapshot's cache.
+        """
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if r < 1:
+            raise InvalidParameterError(f"r must be >= 1, got {r}")
+        start = time.perf_counter()
+        (_, ranking), was_cached = self._entry(k)
+        answer = ranking[:min(r, len(ranking))]
+        entries = build_entries(
+            answer, lambda v: self._gct.contexts(v, k), collect_contexts)
+        return SearchResult(
+            method="service", k=k, r=min(r, max(len(ranking), 1)),
+            entries=entries,
+            search_space=0 if was_cached else len(ranking),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def top_r_many(self, queries: Sequence[Tuple[int, int]],
+                   collect_contexts: bool = True) -> List[SearchResult]:
+        """Answer a batch; same-threshold items share one score map."""
+        return [self.top_r(k, r, collect_contexts=collect_contexts)
+                for k, r in queries]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Snapshot(v{self.version}, |V|={self._graph.num_vertices}, "
+                f"|E|={self._graph.num_edges}, "
+                f"cached_k={self.cached_thresholds() or '-'})")

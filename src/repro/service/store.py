@@ -1,0 +1,322 @@
+"""The :class:`IndexStore`: a versioned on-disk home for index artifacts.
+
+The paper's indexes only pay off when they are built once and served
+many times — yet a restarted process used to start cold and rebuild
+everything.  The store closes that gap: it keeps, per *graph content*,
+a versioned lineage of index artifacts (TSD forests, GCT supernode
+forests, hybrid rankings) so any later process serving the same graph
+can skip every build.
+
+Layout on disk::
+
+    <root>/
+      manifest.json                    # the store catalogue
+      objects/<graph-key>/v<N>/tsd.json
+      objects/<graph-key>/v<N>/gct.json
+      objects/<graph-key>/v<N>/hybrid.json
+
+Design notes
+------------
+* **Content addressing.**  Graphs are keyed by :func:`graph_fingerprint`
+  — a SHA-256 over the insertion-ordered vertex list and the canonical
+  edge list.  Two structurally identical graphs (same labels, same
+  insertion order) share a key, so a warm start never needs a path or a
+  name, just the graph it is about to serve.
+* **Versioning.**  Every :meth:`IndexStore.put` creates a new version.
+  Artifacts the caller did not re-supply are *carried forward* by
+  reference: the manifest records each artifact's relative path, so a
+  live update that only patched the TSD and GCT artifacts re-versions
+  the lineage without rewriting the untouched hybrid rankings.
+* **Format ownership.**  The store persists payloads produced by
+  ``TSDIndex.to_payload`` / ``GCTIndex.to_payload`` /
+  ``HybridSearcher.to_payload`` and hands them back to the matching
+  ``from_payload`` — it never interprets artifact internals.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.datasets.paper import figure1_graph
+>>> from repro.core.tsd import TSDIndex
+>>> g = figure1_graph()
+>>> store = IndexStore(tempfile.mkdtemp())
+>>> version = store.put(g, tsd=TSDIndex.build(g))
+>>> version.version
+1
+>>> store.load(g).tsd.score("v", 4)
+3
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError
+from repro.graph.graph import Graph
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.core.hybrid import HybridSearcher
+
+_MANIFEST_FORMAT = "repro-index-store"
+_MANIFEST_VERSION = 1
+
+#: Artifact names the store understands, in persistence order.
+ARTIFACT_NAMES = ("tsd", "gct", "hybrid")
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a graph: SHA-256 over vertices and canonical edges.
+
+    The digest covers the insertion-ordered vertex list *and* the edge
+    list, because index artifacts depend on both (the canonical ranking
+    contract breaks ties by insertion order).  Labels must be
+    JSON-encodable — the same requirement the index savers impose.
+
+    Edges are digested as index pairs sorted by insertion position:
+    :meth:`Graph.edges` iterates adjacency *sets*, whose internal order
+    is not preserved by :meth:`Graph.copy`, so hashing the raw
+    iteration order would give a graph and its copy different keys.
+    """
+    position = {v: i for i, v in enumerate(graph.vertices())}
+    edges = sorted((position[u], position[v]) for u, v in graph.edges())
+    blob = json.dumps([list(graph.vertices()), edges],
+                      separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreVersion:
+    """One version of one graph's artifact lineage."""
+
+    key: str
+    version: int
+    artifacts: Dict[str, str] = field(default_factory=dict)  # name -> relpath
+
+    @property
+    def artifact_names(self) -> List[str]:
+        """Artifacts present in this version, in canonical order."""
+        return [name for name in ARTIFACT_NAMES if name in self.artifacts]
+
+
+@dataclass(frozen=True)
+class StoredIndexes:
+    """Deserialized artifacts of one store version, ready to serve."""
+
+    version: StoreVersion
+    tsd: Optional[TSDIndex] = None
+    gct: Optional[GCTIndex] = None
+    hybrid: Optional[HybridSearcher] = None
+
+    @property
+    def loaded_names(self) -> List[str]:
+        """Names of the artifacts that were actually materialised."""
+        return [name for name, obj in
+                (("tsd", self.tsd), ("gct", self.gct),
+                 ("hybrid", self.hybrid)) if obj is not None]
+
+
+class IndexStore:
+    """A persistent, versioned store of index artifacts keyed by graph.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store; created (with parents) if missing.
+        An existing directory must contain a valid manifest or be empty.
+    """
+
+    def __init__(self, root) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self._root / "manifest.json"
+        if self._manifest_path.exists():
+            self._manifest = self._read_manifest()
+        else:
+            self._manifest = {"format": _MANIFEST_FORMAT,
+                              "version": _MANIFEST_VERSION, "graphs": {}}
+            self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest plumbing
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def _read_manifest(self) -> Dict:
+        try:
+            manifest = json.loads(
+                self._manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"{self._manifest_path}: unreadable manifest ({exc})") from exc
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise StoreError(
+                f"{self._manifest_path}: not an index-store manifest")
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise StoreError(
+                f"{self._manifest_path}: unsupported manifest version "
+                f"{manifest.get('version')!r}")
+        return manifest
+
+    def _write_manifest(self) -> None:
+        # Write-then-rename keeps the manifest readable even if the
+        # process dies mid-write (a torn manifest would orphan every
+        # artifact in the store).
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=2),
+                       encoding="utf-8")
+        os.replace(tmp, self._manifest_path)
+
+    # ------------------------------------------------------------------
+    # Catalogue queries
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Graph keys with at least one stored version."""
+        return list(self._manifest["graphs"])
+
+    def has(self, graph: Graph, key: Optional[str] = None) -> bool:
+        """Whether this graph's content has any stored version.
+
+        ``key`` skips re-hashing when the caller already fingerprinted
+        the graph (hashing every edge is the expensive part of a
+        catalogue lookup on a large graph).
+        """
+        return (key or graph_fingerprint(graph)) in self._manifest["graphs"]
+
+    @staticmethod
+    def _record_artifacts(record: Dict) -> Dict[str, str]:
+        """Artifact paths of one version record (metadata keys dropped)."""
+        return {name: record[name] for name in ARTIFACT_NAMES
+                if name in record}
+
+    def versions(self, key: str) -> List[StoreVersion]:
+        """All versions of one graph's lineage, oldest first."""
+        entry = self._manifest["graphs"].get(key)
+        if entry is None:
+            raise StoreError(f"no stored indexes for graph key {key!r}")
+        return [StoreVersion(key=key, version=int(number),
+                             artifacts=self._record_artifacts(record))
+                for number, record in sorted(entry["versions"].items(),
+                                             key=lambda item: int(item[0]))]
+
+    def current(self, graph: Graph, key: Optional[str] = None) -> StoreVersion:
+        """The current (latest) version of this graph's lineage.
+
+        ``key`` skips re-hashing, as in :meth:`has`.
+        """
+        key = key or graph_fingerprint(graph)
+        entry = self._manifest["graphs"].get(key)
+        if entry is None:
+            raise StoreError(
+                f"no stored indexes for this graph (key {key[:12]}…); "
+                "run a build first (repro serve-build)")
+        number = entry["current"]
+        return StoreVersion(
+            key=key, version=number,
+            artifacts=self._record_artifacts(entry["versions"][str(number)]))
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, graph: Graph, *,
+            tsd: Optional[TSDIndex] = None,
+            gct: Optional[GCTIndex] = None,
+            hybrid: Optional[HybridSearcher] = None,
+            previous: Optional[StoreVersion] = None) -> StoreVersion:
+        """Persist artifacts as a new version of this graph's lineage.
+
+        Artifacts passed as ``None`` are carried forward by reference
+        from this graph's current version — only changed artifacts are
+        rewritten, which is what makes a re-version cheap.  At least
+        one artifact must end up in the new version.
+
+        ``previous`` links lineages across *content changes*: a live
+        update produces a graph with a new fingerprint, so its patched
+        artifacts land under a new key whose version numbering
+        continues from (and whose manifest record points back to) the
+        pre-update version.  Nothing is carried forward across a
+        content change — an artifact computed for different graph
+        content is stale by definition (a carried-over hybrid ranking
+        would silently serve pre-update scores), so a cross-lineage
+        version holds exactly the artifacts supplied here.
+        """
+        key = graph_fingerprint(graph)
+        entry = self._manifest["graphs"].setdefault(
+            key, {"current": 0, "versions": {}})
+        number = entry["current"] + 1
+        if previous is not None and previous.version + 1 > number:
+            number = previous.version + 1
+        version_dir = self._root / "objects" / key / f"v{number}"
+        carried = entry["versions"].get(str(entry["current"]), {})
+
+        artifacts: Dict[str, str] = {}
+        supplied = {"tsd": tsd, "gct": gct, "hybrid": hybrid}
+        for name in ARTIFACT_NAMES:
+            obj = supplied[name]
+            if obj is not None:
+                version_dir.mkdir(parents=True, exist_ok=True)
+                path = version_dir / f"{name}.json"
+                path.write_text(json.dumps(obj.to_payload()),
+                                encoding="utf-8")
+                artifacts[name] = str(path.relative_to(self._root))
+            elif name in carried:
+                artifacts[name] = carried[name]  # carried forward
+        if not artifacts:
+            raise StoreError("refusing to store an empty version: supply "
+                             "at least one of tsd=, gct=, hybrid=")
+
+        record = dict(artifacts)
+        if previous is not None and previous.key != key:
+            record["parent"] = {"key": previous.key,
+                                "version": previous.version}
+        entry["versions"][str(number)] = record
+        entry["current"] = number
+        self._write_manifest()
+        return StoreVersion(key=key, version=number, artifacts=artifacts)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _artifact_payload(self, version: StoreVersion, name: str) -> Dict:
+        path = self._root / version.artifacts[name]
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"{path}: unreadable artifact ({exc})") from exc
+
+    def load(self, graph: Graph,
+             names: Optional[List[str]] = None,
+             key: Optional[str] = None) -> StoredIndexes:
+        """Materialise the current version's artifacts for this graph.
+
+        ``names`` restricts which artifacts are deserialized (all stored
+        ones by default); ``key`` skips re-hashing, as in :meth:`has`.
+        The hybrid artifact is re-attached to ``graph`` — its payload
+        carries rankings, not the graph.
+        """
+        version = self.current(graph, key=key)
+        wanted = version.artifact_names if names is None else list(names)
+        tsd = gct = hybrid = None
+        for name in wanted:
+            if name not in version.artifacts:
+                continue
+            payload = self._artifact_payload(version, name)
+            source = str(self._root / version.artifacts[name])
+            if name == "tsd":
+                tsd = TSDIndex.from_payload(payload, source=source)
+            elif name == "gct":
+                gct = GCTIndex.from_payload(payload, source=source)
+            elif name == "hybrid":
+                hybrid = HybridSearcher.from_payload(graph, payload,
+                                                     source=source)
+        return StoredIndexes(version=version, tsd=tsd, gct=gct, hybrid=hybrid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IndexStore({str(self._root)!r}, "
+                f"graphs={len(self._manifest['graphs'])})")

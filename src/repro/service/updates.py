@@ -1,0 +1,254 @@
+"""The live-update path: edge batches → the next snapshot, incrementally.
+
+Whole-engine ``invalidate()`` throws away every index and every cached
+score map on any mutation.  This module replaces it with the locality
+argument of :mod:`repro.core.dynamic`: inserting or deleting edge
+``(u, v)`` changes only the ego-networks of ``{u, v} ∪ (N(u) ∩ N(v))``,
+so only those vertices' TSD forests and GCT entries are rebuilt — every
+other artifact entry is carried into the next snapshot untouched.
+
+Fine-grained cache invalidation falls out of the same locality: a
+cached ``(score map, ranking)`` at threshold ``k`` is still exact after
+the batch iff no affected vertex's score *at that* ``k`` changed (and
+the vertex set did not change — a new vertex must appear in every
+ranking's zero-fill).  The update path compares each affected vertex's
+old and new score profiles and drops exactly the thresholds where they
+differ, so a service whose traffic hammers ``k=4`` keeps its hot cache
+through an update that only shifted scores at ``k=2``.
+
+Examples
+--------
+>>> from repro.graph.graph import Graph
+>>> from repro.service.snapshot import Snapshot
+>>> snap = Snapshot.build(Graph(edges=[(0, 1), (1, 2), (0, 2)]))
+>>> nxt, report = apply_batch(snap, [insert(2, 3)])
+>>> sorted(report.affected_vertices)
+[2, 3]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import GraphError, InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+from repro.graph.egonet import ego_network
+from repro.truss.decomposition import truss_decomposition
+from repro.core.diversity import profile_from_weights
+from repro.core.tsd import TSDIndex, ForestEdge, maximum_spanning_forest
+from repro.core.gct import GCTIndex, assemble_gct
+from repro.core.hybrid import HybridSearcher
+from repro.service.snapshot import ScoreEntry, Snapshot
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge mutation: ``op`` is ``"insert"`` or ``"delete"``."""
+
+    op: str
+    u: Vertex
+    v: Vertex
+
+    def __post_init__(self) -> None:
+        if self.op not in ("insert", "delete"):
+            raise InvalidParameterError(
+                f"unknown update op {self.op!r}; expected 'insert' or "
+                "'delete'")
+        if self.u == self.v:
+            raise GraphError(
+                f"self-loop update on {self.u!r} is not allowed")
+
+
+def insert(u: Vertex, v: Vertex) -> EdgeUpdate:
+    """An edge-insertion update."""
+    return EdgeUpdate("insert", u, v)
+
+
+def delete(u: Vertex, v: Vertex) -> EdgeUpdate:
+    """An edge-deletion update."""
+    return EdgeUpdate("delete", u, v)
+
+
+#: Updates may also be given as plain ``(op, u, v)`` tuples.
+UpdateLike = Union[EdgeUpdate, Tuple[str, Vertex, Vertex]]
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one batch actually touched — the fine-grained ledger.
+
+    Attributes
+    ----------
+    num_updates:
+        Edge mutations applied.
+    affected_vertices:
+        Vertices whose ego-network changed (forest + GCT entry rebuilt).
+    rebuilt_forests:
+        Ego forests actually re-decomposed (≤ ``len(affected_vertices)``;
+        vertices deleted from the graph are dropped, not rebuilt).
+    invalidated_thresholds:
+        Cached ``k`` entries dropped because an affected vertex's score
+        at that ``k`` changed (or because the vertex set changed).
+    retained_thresholds:
+        Cached ``k`` entries that survived into the next snapshot.
+    vertex_set_changed:
+        Whether the batch added a vertex — this forces dropping every
+        cached ranking (zero-fill must include the newcomer).
+    seconds:
+        Wall-clock time of the whole batch application.
+    """
+
+    num_updates: int
+    affected_vertices: Tuple[Vertex, ...]
+    rebuilt_forests: int
+    invalidated_thresholds: Tuple[int, ...]
+    retained_thresholds: Tuple[int, ...]
+    vertex_set_changed: bool
+    seconds: float
+
+    def summary(self) -> str:
+        """One-line human summary for service logs."""
+        return (f"applied {self.num_updates} update(s): "
+                f"{len(self.affected_vertices)} affected vertices, "
+                f"{self.rebuilt_forests} forests rebuilt, "
+                f"cache dropped k={list(self.invalidated_thresholds) or '-'} "
+                f"kept k={list(self.retained_thresholds) or '-'} "
+                f"in {self.seconds:.4f}s")
+
+
+def _coerce(update: UpdateLike) -> EdgeUpdate:
+    if isinstance(update, EdgeUpdate):
+        return update
+    op, u, v = update
+    return EdgeUpdate(op, u, v)
+
+
+def _affected_by(graph: Graph, u: Vertex, v: Vertex) -> Set[Vertex]:
+    """``{u, v} ∪ (N(u) ∩ N(v))`` — the exact ego-change set."""
+    common = (graph.common_neighbors(u, v)
+              if u in graph and v in graph else set())
+    return {u, v} | common
+
+
+def _old_profile(snapshot: Snapshot, v: Vertex) -> Dict[int, int]:
+    """Pre-update score profile of ``v`` ({} for vertices not indexed)."""
+    index = snapshot.tsd if snapshot.tsd is not None else snapshot.gct
+    if v not in index:
+        return {}
+    return index.score_profile(v)
+
+
+def apply_batch(snapshot: Snapshot, updates: Sequence[UpdateLike],
+                ) -> Tuple[Snapshot, UpdateReport]:
+    """Apply an edge batch to a snapshot, producing the next snapshot.
+
+    The input snapshot is never mutated — concurrent readers keep
+    serving from it.  The returned snapshot carries:
+
+    * a graph with every update applied (in order);
+    * a TSD index (when the input had one) and a GCT index with only
+      the affected vertices' entries rebuilt;
+    * hybrid rankings recomputed from the repaired TSD forests when the
+      input carried them (they are global per-``k`` sorts, so there is
+      no per-vertex patch for them);
+    * exactly the cache entries whose thresholds survived invalidation.
+    """
+    start = time.perf_counter()
+    batch = [_coerce(update) for update in updates]
+    graph = snapshot.graph.copy()
+    old_vertices = set(graph.vertices())
+
+    # --- 1. mutate the private graph copy, collecting the affected set
+    affected: Set[Vertex] = set()
+    for update in batch:
+        if update.op == "insert":
+            if graph.has_edge(update.u, update.v):
+                raise GraphError(
+                    f"edge ({update.u!r}, {update.v!r}) already present")
+            graph.add_edge(update.u, update.v)
+            affected |= _affected_by(graph, update.u, update.v)
+        else:
+            # Common neighbours are taken while the edge's triangles
+            # still exist (mirrors DynamicTSDIndex.delete_edge).
+            affected |= _affected_by(graph, update.u, update.v)
+            graph.remove_edge(update.u, update.v)
+    vertex_set_changed = set(graph.vertices()) != old_vertices
+
+    # --- 2. capture pre-update profiles of the affected vertices ------
+    old_profiles = {v: _old_profile(snapshot, v) for v in affected}
+
+    # --- 3. affected-vertex repair: re-decompose only changed egos ----
+    new_forests: Dict[Vertex, List[ForestEdge]] = {}
+    new_profiles: Dict[Vertex, Dict[int, int]] = {}
+    rebuilt = 0
+    for w in affected:
+        if w not in graph:
+            continue  # deleted vertices are simply dropped
+        ego = ego_network(graph, w)
+        weights = truss_decomposition(ego)
+        forest = maximum_spanning_forest(ego.vertices(), weights.items())
+        new_forests[w] = forest  # already weight-descending (Kruskal)
+        new_profiles[w] = profile_from_weights(
+            ((a, b), weight) for a, b, weight in forest)
+        rebuilt += 1
+
+    order = list(graph.vertices())
+    position = {v: i for i, v in enumerate(order)}
+
+    new_tsd: Optional[TSDIndex] = None
+    old_tsd = snapshot.tsd
+    if old_tsd is not None:
+        forests = {v: old_tsd.forest(v) for v in old_tsd.vertices
+                   if v in graph and v not in new_forests}
+        forests.update(new_forests)
+        new_tsd = TSDIndex(forests, order)
+
+    old_gct = snapshot.gct
+    supernodes = {v: old_gct.supernodes(v) for v in old_gct.vertices
+                  if v in graph and v not in affected}
+    superedges = {v: old_gct.superedges(v) for v in old_gct.vertices
+                  if v in graph and v not in affected}
+    for w, forest in new_forests.items():
+        touched = {u for u, _, _ in forest} | {x for _, x, _ in forest}
+        supernodes[w], superedges[w] = assemble_gct(
+            sorted(touched, key=position.__getitem__),
+            (((u, x), weight) for u, x, weight in forest))
+    new_gct = GCTIndex(supernodes, superedges, order)
+
+    new_hybrid: Optional[HybridSearcher] = None
+    if snapshot.hybrid is not None and new_tsd is not None:
+        new_hybrid = HybridSearcher.precompute(graph, index=new_tsd)
+
+    # --- 4. fine-grained cache invalidation ---------------------------
+    changed_ks: Set[int] = set()
+    for w in affected:
+        old_profile = old_profiles[w]
+        new_profile = new_profiles.get(w, {})
+        for k in set(old_profile) | set(new_profile):
+            if old_profile.get(k, 0) != new_profile.get(k, 0):
+                changed_ks.add(k)
+
+    old_entries = snapshot.score_entries()
+    if vertex_set_changed:
+        invalidated = set(old_entries)
+        retained: Dict[int, ScoreEntry] = {}
+    else:
+        invalidated = {k for k in old_entries if k in changed_ks}
+        retained = {k: entry for k, entry in old_entries.items()
+                    if k not in invalidated}
+
+    next_snapshot = Snapshot(
+        graph, tsd=new_tsd, gct=new_gct, hybrid=new_hybrid,
+        scores=retained, version=snapshot.version + 1, key=None)
+    report = UpdateReport(
+        num_updates=len(batch),
+        affected_vertices=tuple(sorted(affected, key=repr)),
+        rebuilt_forests=rebuilt,
+        invalidated_thresholds=tuple(sorted(invalidated)),
+        retained_thresholds=tuple(sorted(retained)),
+        vertex_set_changed=vertex_set_changed,
+        seconds=time.perf_counter() - start,
+    )
+    return next_snapshot, report

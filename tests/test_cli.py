@@ -99,6 +99,52 @@ class TestIndexCommands:
         assert f"{v_id}: score=3" in capsys.readouterr().out
 
 
+class TestServeCommands:
+    def test_serve_build_then_warm(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-build", path, store]) == 0
+        out = capsys.readouterr().out
+        assert "stored tsd, gct, hybrid" in out and "as v1" in out
+        assert main(["serve-warm", path, store, "--queries", "4:1"]) == 0
+        out = capsys.readouterr().out
+        assert f"{v_id}:3" in out
+        assert "warm (from store)" in out
+
+    def test_serve_warm_unknown_graph_fails(self, figure1_file, tmp_path,
+                                            capsys):
+        path, _ = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-warm", path, store]) == 1
+        assert "serve-build" in capsys.readouterr().err
+
+    def test_serve_warm_with_updates(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-build", path, store]) == 0
+        capsys.readouterr()
+        assert main(["serve-warm", path, store, "--queries", "4:1",
+                     "--updates", "+0:1000,-0:1000"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 2 update(s)" in out
+        assert "updates applied:   2" in out
+
+    def test_serve_build_artifact_subset(self, figure1_file, tmp_path,
+                                         capsys):
+        path, _ = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-build", path, store, "--artifacts", "gct"]) == 0
+        assert "stored gct" in capsys.readouterr().out
+
+    def test_bad_update_spec(self, figure1_file, tmp_path):
+        from repro.errors import InvalidParameterError
+        path, _ = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-build", path, store]) == 0
+        with pytest.raises(InvalidParameterError):
+            main(["serve-warm", path, store, "--updates", "bogus"])
+
+
 class TestSparsifyCommand:
     def test_sparsify(self, figure1_file, tmp_path, capsys):
         path, _ = figure1_file

@@ -110,6 +110,66 @@ class TestTieRegression:
             assert compressed.superedges(v) == built.superedges(v), v
 
 
+class TestPersistenceRoundTrip:
+    """save → load → serve stays inside the canonical contract.
+
+    The service layer's warm start rests on this: an index that went
+    through disk must answer every query rank-identically to the index
+    that was built in memory (and to the online baseline), and its
+    build profile must survive the trip.
+    """
+
+    KRS = [(k, r) for k in (2, 3, 4) for r in (1, 3, 8, 20)]
+
+    def test_tsd_round_trip_rank_identical(self, tmp_path):
+        g = tie_heavy_graph()
+        built = TSDIndex.build(g)
+        built.save(tmp_path / "tsd.json")
+        loaded = TSDIndex.load(tmp_path / "tsd.json")
+        for k, r in self.KRS:
+            expected = _ranked(online_search(g, k, r))
+            assert _ranked(loaded.top_r(k, r)) == expected, (k, r)
+            assert _ranked(built.top_r(k, r)) == expected, (k, r)
+
+    def test_gct_round_trip_rank_identical(self, tmp_path):
+        g = tie_heavy_graph()
+        built = GCTIndex.build(g)
+        built.save(tmp_path / "gct.json")
+        loaded = GCTIndex.load(tmp_path / "gct.json")
+        for k, r in self.KRS:
+            expected = _ranked(online_search(g, k, r))
+            assert _ranked(loaded.top_r(k, r)) == expected, (k, r)
+            assert _ranked(built.top_r(k, r)) == expected, (k, r)
+
+    def test_hybrid_round_trip_rank_identical(self, tmp_path):
+        g = tie_heavy_graph()
+        built = HybridSearcher.precompute(g)
+        built.save(tmp_path / "hybrid.json")
+        loaded = HybridSearcher.load(g, tmp_path / "hybrid.json")
+        for k, r in self.KRS:
+            expected = _ranked(online_search(g, k, r))
+            assert _ranked(loaded.top_r(k, r)) == expected, (k, r)
+
+    def test_build_profiles_survive(self, tmp_path):
+        g = tie_heavy_graph()
+        for cls, name in ((TSDIndex, "tsd.json"), (GCTIndex, "gct.json")):
+            built = cls.build(g)
+            assert built.build_profile is not None
+            built.save(tmp_path / name)
+            loaded = cls.load(tmp_path / name)
+            assert loaded.build_profile is not None
+            assert (loaded.build_profile.total_seconds
+                    == built.build_profile.total_seconds), name
+
+    def test_hybrid_rejects_mismatched_graph(self, tmp_path):
+        from repro.errors import IndexFormatError
+        g = tie_heavy_graph()
+        HybridSearcher.precompute(g).save(tmp_path / "hybrid.json")
+        other = Graph(edges=[(0, 1), (1, 2)])
+        with pytest.raises(IndexFormatError):
+            HybridSearcher.load(other, tmp_path / "hybrid.json")
+
+
 def _random_graph(n, p, seed):
     rng = random.Random(seed)
     g = Graph(vertices=range(n))

@@ -62,6 +62,94 @@ class TestPlanner:
             EngineConfig(small_graph_edges=-1)
 
 
+class TestPlannerCalibration:
+    """Measured build/query seconds refine the static thresholds."""
+
+    def _calibrated(self, *, build=0.040, online=0.010, index=0.0,
+                    online_method="baseline"):
+        planner = QueryPlanner(EngineConfig())
+        planner.observe_build("gct", build)
+        planner.observe_query(online_method, online)
+        if index:
+            planner.observe_query("gct", index)
+        return planner
+
+    def test_uncalibrated_until_both_costs_measured(self):
+        planner = QueryPlanner(EngineConfig())
+        assert not planner.is_calibrated
+        planner.observe_query("baseline", 0.010)
+        assert not planner.is_calibrated      # no build measured yet
+        planner.observe_build("gct", 0.040)
+        assert planner.is_calibrated
+
+    def test_break_even_is_build_over_saving(self):
+        # 0.040s build / (0.010s online - 0.002s index) = 5 queries.
+        planner = self._calibrated(build=0.040, online=0.010, index=0.002)
+        assert planner.break_even_queries() == 5
+
+    def test_decision_boundary_pinned(self):
+        """The planner flips to the index exactly at the break-even."""
+        planner = self._calibrated(build=0.040, online=0.010)  # BE = 4
+        assert planner.break_even_queries() == 4
+        below = planner.choose(num_edges=100, queries_seen=2, batch_size=1)
+        at = planner.choose(num_edges=100, queries_seen=3, batch_size=1)
+        assert below.method == "baseline" and "break-even" in below.reason
+        assert at.method == "gct" and "calibrated" in at.reason
+
+    def test_batch_counts_towards_break_even(self):
+        planner = self._calibrated(build=0.040, online=0.010)  # BE = 4
+        assert planner.choose(num_edges=100, queries_seen=0,
+                              batch_size=3).method == "baseline"
+        assert planner.choose(num_edges=100, queries_seen=0,
+                              batch_size=4).method == "gct"
+
+    def test_measured_bound_beats_measured_baseline(self):
+        planner = self._calibrated(build=1.0, online=0.010)
+        planner.observe_query("bound", 0.004)
+        decision = planner.choose(num_edges=100, queries_seen=0,
+                                  batch_size=1)
+        assert decision.method == "bound"
+
+    def test_tsd_build_charged_on_the_compress_path(self):
+        planner = QueryPlanner(EngineConfig())
+        planner.observe_build("tsd", 0.030)
+        planner.observe_build("gct", 0.010)
+        planner.observe_query("baseline", 0.010)
+        assert planner.measured_build_seconds() == pytest.approx(0.040)
+        assert planner.break_even_queries() == 4
+
+    def test_never_index_when_marginal_query_not_cheaper(self):
+        planner = self._calibrated(build=0.040, online=0.010, index=0.020)
+        assert planner.break_even_queries() is None
+        decision = planner.choose(num_edges=100, queries_seen=1000,
+                                  batch_size=50)
+        assert decision.method == "baseline"
+        assert "no build pays off" in decision.reason
+
+    def test_built_index_still_always_wins(self):
+        planner = self._calibrated(build=0.040, online=0.010)
+        assert planner.choose(num_edges=100, queries_seen=0, batch_size=1,
+                              index_ready=True).method == "gct"
+
+    def test_engine_feeds_planner_observations(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r(4, 1, method="baseline")
+        assert engine.planner.measured_query_seconds("baseline") is not None
+        engine.top_r(4, 1, method="gct")   # triggers tsd/gct-free build
+        assert engine.planner.measured_build_seconds() is not None
+        assert engine.planner.is_calibrated
+
+    def test_calibration_survives_invalidate(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r(4, 1, method="baseline")
+        engine.top_r(4, 1, method="gct")
+        engine.invalidate()
+        assert engine.planner.is_calibrated
+        decision = engine.planner.choose(
+            num_edges=figure1.num_edges, queries_seen=2, batch_size=1)
+        assert "calibrated" in decision.reason
+
+
 class TestScoreMapCache:
     def test_lru_eviction(self):
         cache = ScoreMapCache(maxsize=2)
@@ -180,6 +268,26 @@ class TestEngineCaching:
             engine.score("ghost", 4)
         with pytest.raises(InvalidParameterError):
             engine.score("v", 1)
+
+    def test_cache_hit_without_contexts_builds_no_index(self, figure1):
+        """Regression: a score-map cache hit with contexts disabled must
+        not build the GCT index — the answer is a slice of the cached
+        ranking, no index required."""
+        from repro.core.gct import GCTIndex
+        engine = QueryEngine(figure1)
+        position = {v: i for i, v in enumerate(figure1.vertices())}
+        index = GCTIndex.build(figure1)
+        score_map = index.scores_for_all(4)
+        ranking = sorted(score_map.items(),
+                         key=lambda pair: (-pair[1], position[pair[0]]))
+        engine._cache.put(4, score_map, ranking)   # seeded, engine cold
+        result = engine.top_r(4, 2, method="gct", collect_contexts=False)
+        expected = online_search(figure1, 4, 2, collect_contexts=False)
+        assert result.vertices == expected.vertices
+        assert engine.stats().index_build_seconds == {}   # stayed cold
+        # Asking for contexts *does* (lazily) build it.
+        engine.top_r(4, 1, method="gct", collect_contexts=True)
+        assert "gct" in engine.stats().index_build_seconds
 
 
 class TestBatching:

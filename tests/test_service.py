@@ -1,0 +1,467 @@
+"""Tests for the service layer: store, snapshot, updates, service.
+
+The acceptance contract of the subsystem:
+
+* **Warm-start correctness + payoff** — an engine or service started
+  from an :class:`IndexStore` returns rank-identical answers to a cold
+  engine across a seeded ``(k, r)`` grid, with *zero* index builds
+  recorded.
+* **Fine-grained invalidation** — an edge-update batch drops exactly
+  the cached thresholds whose scores changed; untouched thresholds keep
+  serving from cache (``search_space == 0``).
+* **Snapshot isolation** — readers never see a half-applied update, and
+  concurrent reads during an update are safe.
+"""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.errors import GraphError, InvalidParameterError, StoreError
+from repro.graph.graph import Graph
+from repro.core.online import online_search
+from repro.core.tsd import TSDIndex
+from repro.core.gct import GCTIndex
+from repro.core.hybrid import HybridSearcher
+from repro.engine import QueryEngine
+from repro.service import (
+    DiversityService,
+    IndexStore,
+    Snapshot,
+    apply_batch,
+    delete,
+    graph_fingerprint,
+    insert,
+)
+
+GRID = [(k, r) for k in (2, 3, 4, 5) for r in (1, 3, 10)]
+
+
+def _ranked(result):
+    return [(entry.vertex, entry.score) for entry in result.entries]
+
+
+def _random_graph(n, p, seed):
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def _two_cliques() -> Graph:
+    """A 5-clique and a disjoint 4-clique — score profiles split by k.
+
+    Every 5-clique member's ego is a 4-clique (trussness 4): score 1
+    for k in 2..4.  Every 4-clique member's ego is a triangle
+    (trussness 3): score 1 for k in 2..3.  Deleting one 4-clique edge
+    demotes the other members' egos to trussness 2, changing scores at
+    k=3 only — the fine-grained invalidation fixture.
+    """
+    g = Graph()
+    a = [f"a{i}" for i in range(5)]
+    b = [f"b{i}" for i in range(4)]
+    for clique in (a, b):
+        for i in range(len(clique)):
+            for j in range(i + 1, len(clique)):
+                g.add_edge(clique[i], clique[j])
+    return g
+
+
+# ----------------------------------------------------------------------
+# IndexStore
+# ----------------------------------------------------------------------
+class TestGraphFingerprint:
+    def test_stable_under_copy(self):
+        g = _random_graph(30, 0.3, 7)
+        assert graph_fingerprint(g) == graph_fingerprint(g.copy())
+        assert graph_fingerprint(g) == graph_fingerprint(g.copy().copy())
+
+    def test_sensitive_to_edges_and_order(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        h = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        assert graph_fingerprint(g) != graph_fingerprint(h)
+        # Same edges, different vertex insertion order: different
+        # content — the canonical ranking contract depends on order.
+        g2 = Graph(vertices=[2, 1, 0], edges=[(0, 1), (1, 2)])
+        assert graph_fingerprint(g) != graph_fingerprint(g2)
+
+
+class TestIndexStore:
+    def test_put_load_round_trip(self, figure1, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        tsd = TSDIndex.build(figure1)
+        version = store.put(figure1, tsd=tsd, gct=GCTIndex.compress(tsd),
+                            hybrid=HybridSearcher.precompute(figure1,
+                                                             index=tsd))
+        assert version.version == 1
+        assert version.artifact_names == ["tsd", "gct", "hybrid"]
+        loaded = IndexStore(tmp_path / "store").load(figure1)
+        assert loaded.loaded_names == ["tsd", "gct", "hybrid"]
+        assert loaded.tsd.score("v", 4) == 3
+        assert loaded.gct.score("v", 4) == 3
+
+    def test_unknown_graph_raises(self, figure1, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        assert not store.has(figure1)
+        with pytest.raises(StoreError):
+            store.current(figure1)
+
+    def test_versions_carry_forward_unchanged_artifacts(self, figure1,
+                                                        tmp_path):
+        store = IndexStore(tmp_path / "store")
+        tsd = TSDIndex.build(figure1)
+        v1 = store.put(figure1, tsd=tsd)
+        v2 = store.put(figure1, gct=GCTIndex.compress(tsd))
+        assert v2.version == 2
+        # The tsd artifact was not rewritten: v2 references v1's file.
+        assert v2.artifacts["tsd"] == v1.artifacts["tsd"]
+        assert v2.artifacts["gct"] != v1.artifacts.get("gct")
+        assert [v.version for v in store.versions(v2.key)] == [1, 2]
+
+    def test_empty_version_rejected(self, figure1, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.put(figure1)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(StoreError):
+            IndexStore(root)
+        (root / "manifest.json").write_text(json.dumps({"format": "other"}),
+                                            encoding="utf-8")
+        with pytest.raises(StoreError):
+            IndexStore(root)
+
+    def test_cross_lineage_previous_link(self, figure1, tmp_path):
+        """A content change re-versions: numbering continues from the
+        parent and the manifest records the link."""
+        store = IndexStore(tmp_path / "store")
+        v1 = store.put(figure1, tsd=TSDIndex.build(figure1))
+        mutated = figure1.copy()
+        mutated.add_edge("v", "brand-new")
+        v2 = store.put(mutated, tsd=TSDIndex.build(mutated), previous=v1)
+        assert v2.key != v1.key
+        assert v2.version == 2
+        manifest = json.loads(
+            (tmp_path / "store" / "manifest.json").read_text())
+        record = manifest["graphs"][v2.key]["versions"]["2"]
+        assert record["parent"] == {"key": v1.key, "version": 1}
+
+    def test_no_stale_carry_forward_across_content_change(self, figure1,
+                                                          tmp_path):
+        """Regression: artifacts computed for different graph content
+        must never be carried into a new lineage — a pre-update hybrid
+        ranking would silently serve wrong scores."""
+        store = IndexStore(tmp_path / "store")
+        tsd = TSDIndex.build(figure1)
+        v1 = store.put(figure1, tsd=tsd,
+                       hybrid=HybridSearcher.precompute(figure1, index=tsd))
+        mutated = figure1.copy()
+        mutated.remove_edge("x1", "x2")
+        v2 = store.put(mutated, tsd=TSDIndex.build(mutated),
+                       gct=GCTIndex.build(mutated), previous=v1)
+        # Only the supplied artifacts exist: v1's hybrid did not leak.
+        assert v2.artifact_names == ["tsd", "gct"]
+        assert store.load(mutated).hybrid is None
+
+
+# ----------------------------------------------------------------------
+# Snapshot
+# ----------------------------------------------------------------------
+class TestSnapshot:
+    def test_answers_match_online_search(self, figure1):
+        snap = Snapshot.build(figure1)
+        for k, r in GRID:
+            assert _ranked(snap.top_r(k, r)) == \
+                _ranked(online_search(figure1, k, r)), (k, r)
+
+    def test_threshold_memoised(self, figure1):
+        snap = Snapshot.build(figure1)
+        assert snap.top_r(4, 2).search_space == figure1.num_vertices
+        assert snap.top_r(4, 5).search_space == 0
+        assert snap.cached_thresholds() == [4]
+
+    def test_isolated_from_source_graph_mutation(self, figure1):
+        snap = Snapshot.build(figure1)
+        before = _ranked(snap.top_r(4, 1))
+        figure1.add_edge("v", "intruder")
+        assert _ranked(snap.top_r(4, 1)) == before
+        assert "intruder" not in snap.graph
+
+    def test_requires_an_index(self, figure1):
+        with pytest.raises(InvalidParameterError):
+            Snapshot(figure1)
+
+    def test_gct_compressed_when_missing(self, figure1):
+        snap = Snapshot(figure1, tsd=TSDIndex.build(figure1))
+        assert snap.gct is not None
+        assert snap.score("v", 4) == 3
+
+    def test_score_and_contexts(self, figure1):
+        snap = Snapshot.build(figure1)
+        assert snap.score("v", 4) == 3
+        assert len(snap.contexts("v", 4)) == 3
+        with pytest.raises(InvalidParameterError):
+            snap.score("ghost", 4)
+        with pytest.raises(InvalidParameterError):
+            snap.score("v", 1)
+
+
+# ----------------------------------------------------------------------
+# Engine warm start (the acceptance grid)
+# ----------------------------------------------------------------------
+class TestEngineWarmStart:
+    @pytest.fixture
+    def seeded_store(self, tmp_path):
+        graph = _random_graph(25, 0.35, 42)
+        store = IndexStore(tmp_path / "store")
+        QueryEngine(graph).persist(store)
+        return graph, store
+
+    def test_rank_identical_with_zero_builds(self, seeded_store):
+        graph, store = seeded_store
+        cold = QueryEngine(graph)
+        warm = QueryEngine(graph, warm_start=store)
+        for method in ("gct", "tsd", "hybrid"):
+            for k, r in GRID:
+                assert (_ranked(warm.top_r(k, r, method=method))
+                        == _ranked(cold.top_r(k, r, method=method))), \
+                    (method, k, r)
+        stats = warm.stats()
+        assert stats.index_build_seconds == {}
+        assert stats.warm_loaded == ["tsd", "gct", "hybrid"]
+        assert "warm-started:      tsd, gct, hybrid" in stats.summary()
+
+    def test_warm_start_accepts_a_path(self, seeded_store):
+        graph, store = seeded_store
+        warm = QueryEngine(graph, warm_start=str(store.root))
+        assert warm.stats().warm_loaded == ["tsd", "gct", "hybrid"]
+
+    def test_tsd_only_store_compresses_instead_of_rebuilding(self,
+                                                             tmp_path):
+        """Regression: with only a TSD artifact stored, a GCT query must
+        load + compress the stored forests — never re-decompose every
+        ego from the graph."""
+        graph = _random_graph(25, 0.35, 42)
+        store = IndexStore(tmp_path / "store")
+        QueryEngine(graph).persist(store, artifacts=("tsd",))
+        warm = QueryEngine(graph, warm_start=store)
+        result = warm.top_r(3, 5, method="gct")
+        assert _ranked(result) == _ranked(online_search(graph, 3, 5))
+        stats = warm.stats()
+        assert "tsd" not in stats.index_build_seconds  # loaded, not built
+        assert "gct" in stats.index_build_seconds      # cheap compress
+        # The compress must have come from the stored forests.
+        assert warm._tsd is not None
+
+    def test_unknown_graph_falls_back_to_cold(self, tmp_path, figure1):
+        engine = QueryEngine(figure1,
+                             warm_start=IndexStore(tmp_path / "store"))
+        assert engine.stats().warm_loaded == []
+        assert _ranked(engine.top_r(4, 1, method="gct")) == \
+            _ranked(online_search(figure1, 4, 1))
+        assert "gct" in engine.stats().index_build_seconds
+
+    def test_persist_builds_at_most_once(self, figure1, tmp_path):
+        engine = QueryEngine(figure1)
+        engine.top_r(4, 1, method="gct")
+        seconds = dict(engine.stats().index_build_seconds)
+        engine.persist(tmp_path / "store", artifacts=("gct",))
+        assert engine.stats().index_build_seconds == seconds
+
+    def test_persist_rejects_unknown_artifacts(self, figure1, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(figure1).persist(tmp_path / "store",
+                                         artifacts=("gct", "quantum"))
+
+    def test_snapshot_handoff_carries_cache(self, figure1):
+        engine = QueryEngine(figure1)
+        engine.top_r(4, 2, method="gct")
+        snap = engine.snapshot()
+        assert snap.cached_thresholds() == [4]
+        assert snap.top_r(4, 1).search_space == 0
+        # One-way hand-off: engine invalidation cannot hurt the snapshot.
+        engine.invalidate()
+        assert _ranked(snap.top_r(4, 1)) == \
+            _ranked(online_search(figure1, 4, 1))
+
+
+# ----------------------------------------------------------------------
+# Live updates
+# ----------------------------------------------------------------------
+class TestApplyBatch:
+    def test_matches_fresh_build_after_mixed_batch(self):
+        graph = _random_graph(14, 0.4, 3)
+        snap = Snapshot.build(graph)
+        batch = [delete(*next(iter(graph.edges()))), insert(0, 13),
+                 insert(1, 12)]
+        # Drop duplicates of existing edges from the synthetic batch.
+        batch = [u for u in batch
+                 if u.op == "delete" or not graph.has_edge(u.u, u.v)]
+        nxt, report = apply_batch(snap, batch)
+        expected = graph.copy()
+        for update in batch:
+            if update.op == "insert":
+                expected.add_edge(update.u, update.v)
+            else:
+                expected.remove_edge(update.u, update.v)
+        assert nxt.graph == expected
+        for k, r in GRID:
+            assert _ranked(nxt.top_r(k, r)) == \
+                _ranked(online_search(expected, k, r)), (k, r)
+
+    def test_repaired_indexes_structurally_fresh(self):
+        """Affected-vertex repair must equal a from-scratch build, not
+        merely answer queries identically."""
+        graph = _random_graph(12, 0.5, 9)
+        snap = Snapshot.build(graph)
+        u, v = next(iter(graph.edges()))
+        nxt, _ = apply_batch(snap, [delete(u, v)])
+        fresh = GCTIndex.build(nxt.graph)
+        assert nxt.gct.vertices == fresh.vertices
+        for w in nxt.graph.vertices():
+            assert nxt.gct.supernodes(w) == fresh.supernodes(w), w
+            assert nxt.gct.superedges(w) == fresh.superedges(w), w
+
+    def test_only_affected_thresholds_invalidated(self):
+        graph = _two_cliques()
+        snap = Snapshot.build(graph)
+        for k in (2, 3, 4):
+            snap.top_r(k, 9)
+        assert snap.cached_thresholds() == [2, 3, 4]
+        nxt, report = apply_batch(snap, [delete("b2", "b3")])
+        # The deletion demotes 4-clique egos from trussness 3 to 2:
+        # scores change at k=3 only.
+        assert report.invalidated_thresholds == (3,)
+        assert report.retained_thresholds == (2, 4)
+        assert not report.vertex_set_changed
+        assert set(report.affected_vertices) == {"b0", "b1", "b2", "b3"}
+        # Retained thresholds keep serving from cache...
+        assert nxt.top_r(2, 9).search_space == 0
+        assert nxt.top_r(4, 9).search_space == 0
+        # ...the invalidated one recomputes, and every answer is exact.
+        assert nxt.top_r(3, 9).search_space == nxt.graph.num_vertices
+        for k in (2, 3, 4):
+            assert _ranked(nxt.top_r(k, 9)) == \
+                _ranked(online_search(nxt.graph, k, 9)), k
+
+    def test_new_vertex_drops_every_threshold(self):
+        graph = _two_cliques()
+        snap = Snapshot.build(graph)
+        snap.top_r(2, 3)
+        nxt, report = apply_batch(snap, [insert("a0", "newcomer")])
+        assert report.vertex_set_changed
+        assert report.invalidated_thresholds == (2,)
+        assert nxt.cached_thresholds() == []
+        assert _ranked(nxt.top_r(2, 10)) == \
+            _ranked(online_search(nxt.graph, 2, 10))
+
+    def test_input_snapshot_untouched(self):
+        graph = _two_cliques()
+        snap = Snapshot.build(graph)
+        before = _ranked(snap.top_r(3, 9))
+        apply_batch(snap, [delete("b2", "b3")])
+        assert _ranked(snap.top_r(3, 9)) == before
+        assert snap.graph.has_edge("b2", "b3")
+
+    def test_bad_updates_rejected(self, triangle):
+        snap = Snapshot.build(triangle)
+        with pytest.raises(GraphError):
+            apply_batch(snap, [insert(0, 1)])      # already present
+        with pytest.raises(InvalidParameterError):
+            apply_batch(snap, [("teleport", 0, 1)])
+        with pytest.raises(GraphError):
+            apply_batch(snap, [insert(0, 0)])      # self-loop
+
+    def test_tuples_accepted(self, triangle):
+        snap = Snapshot.build(triangle)
+        nxt, report = apply_batch(snap, [("insert", 2, 3),
+                                         ("delete", 0, 2)])
+        assert report.num_updates == 2
+        assert nxt.graph.has_edge(2, 3) and not nxt.graph.has_edge(0, 2)
+
+
+# ----------------------------------------------------------------------
+# DiversityService
+# ----------------------------------------------------------------------
+class TestDiversityService:
+    def test_cold_start_persists_for_next_warm_start(self, tmp_path):
+        graph = _random_graph(15, 0.4, 5)
+        store = IndexStore(tmp_path / "store")
+        first = DiversityService.start(graph, store=store)
+        assert not first.warm_started
+        second = DiversityService.start(graph, store=store)
+        assert second.warm_started
+        for k, r in GRID:
+            assert _ranked(second.top_r(k, r)) == \
+                _ranked(online_search(graph, k, r)), (k, r)
+
+    def test_warm_requires_known_graph(self, figure1, tmp_path):
+        with pytest.raises(StoreError):
+            DiversityService.warm(figure1, IndexStore(tmp_path / "store"))
+
+    def test_updates_re_version_the_store(self, tmp_path):
+        graph = _two_cliques()
+        store = IndexStore(tmp_path / "store")
+        service = DiversityService.start(graph, store=store)
+        assert service.snapshot.version == 1
+        report = service.apply_updates([delete("b2", "b3")])
+        assert report.num_updates == 1
+        assert service.snapshot.version == 2
+        # The store can now warm-start a service on the *updated* graph.
+        mutated = service.snapshot.graph
+        revived = DiversityService.warm(mutated, store)
+        for k, r in GRID:
+            assert _ranked(revived.top_r(k, r)) == \
+                _ranked(online_search(mutated, k, r)), (k, r)
+
+    def test_readers_see_before_or_after_never_between(self):
+        """Concurrent top_r during an update returns either the old or
+        the new snapshot's exact answer — snapshot isolation."""
+        graph = _two_cliques()
+        service = DiversityService.start(graph)
+        old = _ranked(service.top_r(3, 9))
+        new_graph = graph.copy()
+        new_graph.remove_edge("b2", "b3")
+        new = _ranked(online_search(new_graph, 3, 9))
+
+        answers, errors = [], []
+
+        def reader():
+            try:
+                for _ in range(50):
+                    answers.append(_ranked(service.top_r(3, 9)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        service.apply_updates([delete("b2", "b3")])
+        for t in threads:
+            t.join()
+        assert not errors
+        assert set(map(tuple, answers)) <= {tuple(old), tuple(new)}
+        assert _ranked(service.top_r(3, 9)) == new
+
+    def test_stats_summary(self, figure1):
+        service = DiversityService.start(figure1)
+        service.top_r(4, 1)
+        service.apply_updates([insert("v", "w-new")])
+        text = service.stats_summary()
+        assert "queries served:    1" in text
+        assert "updates applied:   1" in text
+        assert "update batches:" in text
+        assert len(service.update_reports()) == 1
+
+    def test_score_and_contexts_pass_through(self, figure1):
+        service = DiversityService.start(figure1)
+        assert service.score("v", 4) == 3
+        assert len(service.contexts("v", 4)) == 3
