@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: test doctest check smoke-service examples bench-planner benchmarks
+.PHONY: test doctest check smoke-service smoke-server examples bench-planner bench-warm bench-server benchmarks
 
 test:           ## tier-1 verify (ROADMAP)
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -18,6 +18,10 @@ smoke-service:  ## end-to-end service: store build, warm start, live updates
 	PYTHONPATH=src $(PY) examples/diversity_service.py
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_service.py
 
+smoke-server:   ## end-to-end HTTP: start server, query, update, compact, stop
+	PYTHONPATH=src $(PY) examples/http_service.py
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_server.py
+
 examples:       ## every example script, executed (they assert their claims)
 	for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -29,6 +33,9 @@ bench-planner:  ## engine planner vs fixed strategies (fast)
 
 bench-warm:     ## service warm start vs cold build (fast)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_service_warm_start.py --benchmark-disable
+
+bench-server:   ## serving throughput: direct vs routed vs HTTP (fast)
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_server_throughput.py --benchmark-disable
 
 benchmarks:     ## full paper-reproduction report (slow)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_*.py --benchmark-disable

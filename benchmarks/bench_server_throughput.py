@@ -1,0 +1,136 @@
+"""Server throughput: queries/sec direct vs routed vs over HTTP.
+
+The router's promise is that multi-graph serving costs (almost)
+nothing on the read path: routing is one dict lookup in front of the
+same lock-free snapshot read a single-graph
+:class:`~repro.service.DiversityService` does.  This benchmark measures
+that, and records what the stdlib HTTP front adds on top:
+
+* **direct**: ``DiversityService.top_r`` in-process, one graph;
+* **routed**: ``DiversityRouter.top_r`` with several graphs registered,
+  traffic round-robining across them;
+* **http**: ``ServerClient.top_r`` against a live
+  :class:`ThreadingHTTPServer` on loopback.
+
+All three serve cache-hot thresholds (the steady state of a hot
+service), so the numbers isolate dispatch overhead, not scoring cost.
+The routed path must stay within 2x of direct — routing is a dict
+lookup, not a query plan.  The HTTP number is recorded for scale
+(json + socket round trip dominates); it has no bar.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.datasets.synthetic import powerlaw_cluster
+from repro.server import DiversityRouter, ServerClient, serve
+from repro.service import DiversityService
+
+#: Graphs hosted by the routed/http paths; traffic round-robins.
+FLEET = 4
+
+#: Cache-hot query mix (thresholds pre-warmed before timing).
+QUERIES = [(3, 10), (4, 5), (3, 1), (4, 10)]
+
+#: Timed queries per path.
+N = 400
+
+#: Routed serving must stay within this factor of direct serving.
+MAX_ROUTED_SLOWDOWN = 2.0
+
+#: Timing runs per path; the minimum filters scheduler noise.
+TRIALS = 3
+
+
+def _graphs():
+    return {f"g{i}": powerlaw_cluster(150, 4, 0.5, seed=31 + i)
+            for i in range(FLEET)}
+
+
+def _warm(serve_one):
+    for k, r in QUERIES:
+        serve_one(k, r)
+
+
+def _time_queries(serve_one):
+    best = None
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        for i in range(N):
+            k, r = QUERIES[i % len(QUERIES)]
+            serve_one(k, r)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return N / best
+
+
+@pytest.mark.benchmark(group="server-throughput")
+def test_server_throughput(benchmark, report):
+    graphs = _graphs()
+
+    # -- direct: one service, no router in front -----------------------
+    service = DiversityService.start(graphs["g0"])
+    _warm(lambda k, r: service.top_r(k, r, collect_contexts=False))
+    qps_direct = _time_queries(
+        lambda k, r: service.top_r(k, r, collect_contexts=False))
+
+    # -- routed: the same traffic through a multi-graph router ---------
+    router = DiversityRouter()
+    for name, graph in graphs.items():
+        router.add_graph(name, graph)
+    names = sorted(graphs)
+    counter = {"i": 0}
+
+    def routed(k, r):
+        name = names[counter["i"] % len(names)]
+        counter["i"] += 1
+        return router.top_r(name, k, r, collect_contexts=False)
+
+    _warm(lambda k, r: [router.top_r(name, k, r, collect_contexts=False)
+                        for name in names])
+    qps_routed = _time_queries(routed)
+
+    # Routing must not change a single answer.
+    for k, r in QUERIES:
+        assert router.top_r("g0", k, r, collect_contexts=False).vertices \
+            == service.top_r(k, r, collect_contexts=False).vertices, (k, r)
+
+    # -- http: the same router behind the stdlib network front ---------
+    server = serve(router, port=0)
+    client = ServerClient(f"http://127.0.0.1:{server.server_port}")
+
+    def over_http(k, r):
+        name = names[counter["i"] % len(names)]
+        counter["i"] += 1
+        return client.top_r(name, k=k, r=r)
+
+    try:
+        qps_http = _time_queries(over_http)
+        wire = client.top_r("g0", k=3, r=10)
+        local = service.top_r(3, 10, collect_contexts=False)
+        assert wire["vertices"] == local.vertices
+        assert wire["scores"] == local.scores
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    slowdown = qps_direct / qps_routed
+    assert slowdown <= MAX_ROUTED_SLOWDOWN, \
+        (f"multi-graph routing costs {slowdown:.2f}x over direct serving "
+         f"(bar: {MAX_ROUTED_SLOWDOWN}x) — routing must stay a dict lookup")
+
+    report.add("Server - routed and HTTP throughput", format_table(
+        ["path", "graphs", "queries", "qps", "vs direct"],
+        [
+            ["direct (in-process)", 1, N, round(qps_direct), "1.00x"],
+            ["routed (in-process)", FLEET, N, round(qps_routed),
+             f"{qps_routed / qps_direct:.2f}x"],
+            ["http (loopback)", FLEET, N, round(qps_http),
+             f"{qps_http / qps_direct:.2f}x"],
+        ],
+        title=f"Cache-hot top-r throughput: direct service vs "
+              f"{FLEET}-graph router vs stdlib HTTP front"))
+
+    benchmark(lambda: routed(3, 10))

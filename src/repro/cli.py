@@ -15,6 +15,9 @@ usable without writing Python:
   versioned :class:`~repro.service.store.IndexStore`
 * ``repro serve-warm GRAPH STORE``     — serve a workload warm from the
   store (zero index builds), optionally applying live edge updates
+* ``repro serve --http 8080 --graph name=g.txt``
+                                       — HTTP JSON API over one or more
+  named graphs (multi-graph routing, live updates, store compaction)
 * ``repro sparsify GRAPH OUT -k 4``    — write the reduced graph
 * ``repro generate NAME OUT``          — write a registry dataset
 * ``repro communities GRAPH VERTEX``   — k-truss community search
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -217,6 +221,49 @@ def _cmd_serve_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import DiversityRouter, serve
+    store = args.store or None
+    router = DiversityRouter(store=store)
+    if not args.graph:
+        print("error: register at least one graph with --graph NAME=PATH",
+              file=sys.stderr)
+        return 1
+    for spec in args.graph:
+        name, sep, path = spec.partition("=")
+        if not sep or not path:
+            print(f"error: bad --graph {spec!r}: expected NAME=PATH",
+                  file=sys.stderr)
+            return 1
+        service = router.add_graph(name, _load_graph(path))
+        snapshot = service.snapshot
+        print(f"graph {name!r}: |V|={snapshot.num_vertices:,} "
+              f"|E|={snapshot.num_edges:,} "
+              f"({'warm' if service.warm_started else 'cold'} start, "
+              f"v{snapshot.version})")
+    server = serve(router, port=args.http, host=args.host,
+                   quiet=args.quiet, in_thread=True)
+    base = f"http://{args.host}:{server.server_port}"
+    print(f"serving {len(router)} graph(s) on {base}")
+    print(f"  GET  {base}/healthz")
+    print(f"  GET  {base}/graphs")
+    print(f"  GET  {base}/graphs/<name>/top_r?k=4&r=10&contexts=1")
+    print(f"  GET  {base}/graphs/<name>/score?v=0&k=4")
+    print(f"  POST {base}/graphs/<name>/updates")
+    print(f"  POST {base}/graphs/<name>/scores")
+    if store is not None:
+        print(f"  POST {base}/compact")
+    print(f"  GET  {base}/stats")
+    try:
+        # serve() already runs the accept loop on a daemon thread; park
+        # the main thread until the operator interrupts.
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.shutdown()
+    return 0
+
+
 def _cmd_sparsify(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     reduced, stats = sparsify_with_stats(graph, args.k)
@@ -360,6 +407,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "items; the workload is then replayed on the new "
                         "snapshot")
     p.set_defaults(func=_cmd_serve_warm)
+
+    p = sub.add_parser("serve",
+                       help="HTTP JSON API over one or more named graphs "
+                            "(multi-graph routing, live updates, "
+                            "store compaction)")
+    p.add_argument("--http", type=int, required=True, metavar="PORT",
+                   help="port to listen on (0 binds an ephemeral port)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: %(default)s)")
+    p.add_argument("--graph", action="append", default=[],
+                   metavar="NAME=PATH",
+                   help="register a graph under a name; repeatable")
+    p.add_argument("--store", default="",
+                   help="shared index-store directory: graphs warm-start "
+                        "from it and persist into it (created if missing)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access logs")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("sparsify", help="write the Property-1 reduced graph")
     p.add_argument("graph")

@@ -43,3 +43,22 @@ class IndexFormatError(ReproError):
 class StoreError(ReproError):
     """An :class:`~repro.service.store.IndexStore` operation failed
     (unknown graph, missing version, or a corrupt manifest)."""
+
+
+class UnknownGraphError(ReproError, KeyError):
+    """A :class:`~repro.server.router.DiversityRouter` has no graph
+    registered under the requested name."""
+
+    def __init__(self, name):
+        super().__init__(f"no graph named {name!r} is registered")
+        self.name = name
+
+
+class ServerError(ReproError):
+    """An HTTP request to a diversity server failed.  Carries the
+    response ``status`` and the server's error ``message``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message

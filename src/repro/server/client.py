@@ -1,0 +1,145 @@
+""":class:`ServerClient`: a thin stdlib client for the HTTP front.
+
+Tests, examples, and operators talk to a running
+:class:`~repro.server.http.DiversityHTTPServer` through this wrapper —
+:mod:`urllib.request` underneath, JSON in and out, HTTP error statuses
+re-raised as :class:`~repro.errors.ServerError` with the server's
+message attached.
+
+Examples
+--------
+>>> from repro.graph.graph import Graph
+>>> from repro.server.router import DiversityRouter
+>>> from repro.server.http import serve
+>>> router = DiversityRouter()
+>>> _ = router.add_graph("g", Graph(edges=[(0, 1), (1, 2), (0, 2)]))
+>>> server = serve(router, port=0)
+>>> client = ServerClient(f"http://127.0.0.1:{server.server_port}")
+>>> client.healthz()["status"]
+'ok'
+>>> server.shutdown()
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlencode
+
+from repro.errors import ServerError
+
+#: An update over the wire: ``(op, u, v)`` with op insert/delete.
+WireUpdate = Tuple[str, object, object]
+
+
+class ServerClient:
+    """JSON-over-HTTP client for a diversity server.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8080``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 params: Optional[Dict[str, object]] = None,
+                 body: Optional[object] = None) -> Dict:
+        url = self._base + path
+        if params:
+            url += "?" + urlencode(params)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise ServerError(exc.code, self._error_message(exc)) from exc
+        except urllib.error.URLError as exc:
+            raise ServerError(0, f"cannot reach {self._base}: "
+                                 f"{exc.reason}") from exc
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return payload.get("error", exc.reason)
+        except Exception:  # non-JSON error body
+            return str(exc.reason)
+
+    # ------------------------------------------------------------------
+    # API surface (one method per endpoint)
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        """Liveness probe (``GET /healthz``)."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        """Whole-fleet counters (``GET /stats``)."""
+        return self._request("GET", "/stats")
+
+    def graphs(self) -> List[Dict]:
+        """Registered graphs with their stats (``GET /graphs``)."""
+        return self._request("GET", "/graphs")["graphs"]
+
+    def graph_stats(self, name: str) -> Dict:
+        """One graph's stats (``GET /graphs/<name>``)."""
+        return self._request("GET", f"/graphs/{name}")
+
+    def top_r(self, name: str, k: int, r: int = 10,
+              contexts: bool = False) -> Dict:
+        """Canonical top-r answer (``GET /graphs/<name>/top_r``).
+
+        The returned dict's ``vertices`` and ``scores`` are exactly the
+        in-process :meth:`DiversityService.top_r` answer for the same
+        snapshot; ``contexts=True`` adds per-entry social contexts.
+        """
+        params: Dict[str, object] = {"k": k, "r": r}
+        if contexts:
+            params["contexts"] = 1
+        return self._request("GET", f"/graphs/{name}/top_r", params=params)
+
+    def score(self, name: str, v: object, k: int) -> int:
+        """One vertex's score (``GET /graphs/<name>/score``)."""
+        return self._request("GET", f"/graphs/{name}/score",
+                             params={"v": v, "k": k})["score"]
+
+    def apply_updates(self, name: str,
+                      updates: Sequence[WireUpdate]) -> Dict:
+        """Apply an edge batch (``POST /graphs/<name>/updates``).
+
+        ``updates`` items are ``(op, u, v)`` tuples/lists (also accepts
+        :class:`~repro.service.EdgeUpdate` objects).
+        """
+        wire = [[u.op, u.u, u.v] if hasattr(u, "op") else list(u)
+                for u in updates]
+        return self._request("POST", f"/graphs/{name}/updates",
+                             body={"updates": wire})
+
+    def persist_scores(self, name: str) -> List[int]:
+        """Persist the hot score cache (``POST /graphs/<name>/scores``)."""
+        return self._request(
+            "POST", f"/graphs/{name}/scores")["persisted_thresholds"]
+
+    def compact(self) -> Dict:
+        """Compact the shared store (``POST /compact``)."""
+        return self._request("POST", "/compact")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServerClient({self._base!r})"

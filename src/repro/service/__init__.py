@@ -22,12 +22,17 @@ rank-identical to a cold engine on the same graph.
 
 from repro.service.store import (
     ARTIFACT_NAMES,
+    CompactionReport,
     IndexStore,
     StoredIndexes,
     StoreVersion,
     graph_fingerprint,
 )
-from repro.service.snapshot import Snapshot
+from repro.service.snapshot import (
+    Snapshot,
+    scores_from_payload,
+    scores_to_payload,
+)
 from repro.service.updates import (
     EdgeUpdate,
     UpdateReport,
@@ -39,6 +44,7 @@ from repro.service.service import DiversityService
 
 __all__ = [
     "ARTIFACT_NAMES",
+    "CompactionReport",
     "DiversityService",
     "EdgeUpdate",
     "IndexStore",
@@ -50,4 +56,6 @@ __all__ = [
     "delete",
     "graph_fingerprint",
     "insert",
+    "scores_from_payload",
+    "scores_to_payload",
 ]

@@ -32,11 +32,12 @@ Examples
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import StoreError
 from repro.graph.graph import Graph, Vertex
 from repro.core.results import SearchResult
-from repro.service.snapshot import Snapshot
+from repro.service.snapshot import Snapshot, scores_to_payload
 from repro.service.store import IndexStore, StoreVersion
 from repro.service.updates import UpdateLike, UpdateReport, apply_batch
 
@@ -92,7 +93,7 @@ class DiversityService:
         """
         loaded = store.load(graph)
         snapshot = Snapshot(graph, tsd=loaded.tsd, gct=loaded.gct,
-                            hybrid=loaded.hybrid,
+                            hybrid=loaded.hybrid, scores=loaded.scores,
                             version=loaded.version.version,
                             key=loaded.version.key)
         service = cls(snapshot, store=store)
@@ -146,7 +147,9 @@ class DiversityService:
 
     def contexts(self, v: Vertex, k: int) -> List[Set[Vertex]]:
         """Social contexts from the current snapshot."""
-        return self._snapshot.contexts(v, k)
+        snapshot = self._snapshot
+        self._count_queries(1)
+        return snapshot.contexts(v, k)
 
     # ------------------------------------------------------------------
     # Writes: build next snapshot, persist, swap
@@ -163,10 +166,15 @@ class DiversityService:
             next_snapshot, report = apply_batch(current, updates)
             if self._store is not None:
                 previous = self._version_of(current)
+                # The snapshot's private graph: store writes only read
+                # it (fingerprint + payload), and Snapshot.graph would
+                # charge a full defensive copy per update batch.
                 version = self._store.put(
-                    next_snapshot.graph,
+                    next_snapshot._graph,
                     tsd=next_snapshot.tsd, gct=next_snapshot.gct,
-                    hybrid=next_snapshot.hybrid, previous=previous)
+                    hybrid=next_snapshot.hybrid,
+                    scores=scores_to_payload(next_snapshot.score_entries()),
+                    previous=previous)
                 next_snapshot.version = version.version
                 next_snapshot.key = version.key
             self._snapshot = next_snapshot  # atomic publish
@@ -178,9 +186,35 @@ class DiversityService:
         if snapshot.key is None:
             return None
         try:
-            return self._store.current(snapshot.graph)
-        except Exception:
+            # key= skips re-fingerprinting (and the _graph access skips
+            # the defensive copy Snapshot.graph would make).
+            return self._store.current(snapshot._graph, key=snapshot.key)
+        except StoreError:
+            # Expected: the lineage was compacted away (or never
+            # persisted) — link-less re-version.  Anything else (I/O
+            # failure, corrupt manifest) must propagate, not silently
+            # drop the cross-lineage parent link.
             return None
+
+    def persist_scores(self) -> List[int]:
+        """Persist the current snapshot's score cache to the store.
+
+        Writes the cached ``(score map, ranking)`` entries as the
+        current store version's ``scores.json`` artifact, so the next
+        warm start re-seeds them and hot thresholds restart warm.
+        Returns the persisted thresholds.  Raises
+        :class:`~repro.errors.StoreError` when the service has no
+        store.
+        """
+        if self._store is None:
+            raise StoreError(
+                "this service has no store; start it with store= to "
+                "persist score caches")
+        snapshot = self._snapshot
+        entries = snapshot.score_entries()
+        self._store.put_scores(snapshot._graph, scores_to_payload(entries),
+                               key=snapshot.key)
+        return sorted(entries)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,18 +223,34 @@ class DiversityService:
         """Every applied batch's ledger, oldest first."""
         return list(self._reports)
 
+    def stats_payload(self) -> Dict[str, object]:
+        """JSON-able service counters (the HTTP ``/stats`` building block)."""
+        snapshot = self._snapshot
+        with self._stats_lock:
+            queries = self._queries
+        return {
+            "version": snapshot.version,
+            "vertices": snapshot.num_vertices,
+            "edges": snapshot.num_edges,
+            "warm_started": self.warm_started,
+            "queries": queries,
+            "updates_applied": self._updates_applied,
+            "update_batches": len(self._reports),
+            "cached_thresholds": snapshot.cached_thresholds(),
+        }
+
     def stats_summary(self) -> str:
         """Multi-line human-readable service report."""
-        snapshot = self._snapshot
+        stats = self.stats_payload()
         lines = [
-            f"snapshot:          v{snapshot.version} "
-            f"(|V|={snapshot.graph.num_vertices}, "
-            f"|E|={snapshot.graph.num_edges})",
+            f"snapshot:          v{stats['version']} "
+            f"(|V|={stats['vertices']}, "
+            f"|E|={stats['edges']})",
             f"started:           {'warm (from store)' if self.warm_started else 'cold (built)'}",
-            f"queries served:    {self._queries}",
-            f"updates applied:   {self._updates_applied} "
-            f"({len(self._reports)} batches)",
-            f"cached thresholds: {snapshot.cached_thresholds() or '-'}",
+            f"queries served:    {stats['queries']}",
+            f"updates applied:   {stats['updates_applied']} "
+            f"({stats['update_batches']} batches)",
+            f"cached thresholds: {stats['cached_thresholds'] or '-'}",
         ]
         if self._reports:
             lines.append("update batches:")

@@ -44,6 +44,45 @@ from repro.core.hybrid import HybridSearcher
 #: One cached threshold: the score map and the canonical ranking.
 ScoreEntry = Tuple[Dict[Vertex, int], List[Tuple[Vertex, int]]]
 
+#: Format tag of a persisted score-cache payload (``scores.json``).
+SCORES_FORMAT = "repro-snapshot-scores"
+SCORES_VERSION = 1
+
+
+def scores_to_payload(entries: Dict[int, ScoreEntry]) -> Dict:
+    """JSON-able payload of score-cache entries (``scores.json``).
+
+    Only the canonical ranking is persisted per threshold — the score
+    map is its dict view, so the payload stores each entry once.
+    Vertex labels must be JSON-encodable, the same requirement the
+    index ``to_payload`` hooks impose.
+    """
+    return {
+        "format": SCORES_FORMAT,
+        "version": SCORES_VERSION,
+        "thresholds": {
+            str(k): [[vertex, score] for vertex, score in ranking]
+            for k, (_, ranking) in sorted(entries.items())
+        },
+    }
+
+
+def scores_from_payload(payload: Dict) -> Dict[int, ScoreEntry]:
+    """Rebuild score-cache entries from a :func:`scores_to_payload` dict.
+
+    Raises :class:`~repro.errors.InvalidParameterError` on a payload
+    that is not a persisted score cache.
+    """
+    if payload.get("format") != SCORES_FORMAT:
+        raise InvalidParameterError(
+            f"not a {SCORES_FORMAT} payload: format="
+            f"{payload.get('format')!r}")
+    entries: Dict[int, ScoreEntry] = {}
+    for k_text, pairs in payload.get("thresholds", {}).items():
+        ranking = [(vertex, int(score)) for vertex, score in pairs]
+        entries[int(k_text)] = (dict(ranking), ranking)
+    return entries
+
 
 class Snapshot:
     """One immutable, fully materialised serving state.
@@ -105,8 +144,25 @@ class Snapshot:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> Graph:
-        """The snapshot's graph (treat as read-only)."""
-        return self._graph
+        """A defensive copy of the snapshot's graph.
+
+        Handing out the private copy would let a caller mutate the
+        "immutable" snapshot from outside (and desynchronise its store
+        key, which hashes the graph content), so every access pays for
+        a fresh copy.  Use :attr:`num_vertices` / :attr:`num_edges`
+        when only the size is needed.
+        """
+        return self._graph.copy()
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count — no graph copy."""
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count — no graph copy."""
+        return self._graph.num_edges
 
     @property
     def tsd(self) -> Optional[TSDIndex]:
@@ -195,6 +251,6 @@ class Snapshot:
                 for k, r in queries]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"Snapshot(v{self.version}, |V|={self._graph.num_vertices}, "
+        return (f"Snapshot(v{self.version}, |V|={self.num_vertices}, "
                 f"|E|={self._graph.num_edges}, "
                 f"cached_k={self.cached_thresholds() or '-'})")

@@ -11,9 +11,11 @@ Layout on disk::
 
     <root>/
       manifest.json                    # the store catalogue
+      .lock                            # cross-process writer lock
       objects/<graph-key>/v<N>/tsd.json
       objects/<graph-key>/v<N>/gct.json
       objects/<graph-key>/v<N>/hybrid.json
+      objects/<graph-key>/v<N>/scores.json   # persisted score cache
 
 Design notes
 ------------
@@ -29,8 +31,14 @@ Design notes
   the lineage without rewriting the untouched hybrid rankings.
 * **Format ownership.**  The store persists payloads produced by
   ``TSDIndex.to_payload`` / ``GCTIndex.to_payload`` /
-  ``HybridSearcher.to_payload`` and hands them back to the matching
-  ``from_payload`` — it never interprets artifact internals.
+  ``HybridSearcher.to_payload`` (and, for the ``scores`` artifact,
+  :func:`repro.service.snapshot.scores_to_payload`) and hands them back
+  to the matching ``from_payload`` — it never interprets artifact
+  internals.
+* **Durability.**  Artifact and manifest writes go through tmp +
+  ``os.replace``; ``put`` / ``put_scores`` / ``compact`` hold an
+  on-disk lock and re-read the manifest first, so concurrent writers
+  sharing a root never lose each other's versions.
 
 Examples
 --------
@@ -51,21 +59,32 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+try:  # POSIX advisory file locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.errors import StoreError
 from repro.graph.graph import Graph
 from repro.core.tsd import TSDIndex
 from repro.core.gct import GCTIndex
 from repro.core.hybrid import HybridSearcher
+from repro.service.snapshot import ScoreEntry, scores_from_payload
 
 _MANIFEST_FORMAT = "repro-index-store"
 _MANIFEST_VERSION = 1
 
-#: Artifact names the store understands, in persistence order.
-ARTIFACT_NAMES = ("tsd", "gct", "hybrid")
+#: Artifact names the store understands, in persistence order.  The
+#: ``scores`` artifact is a snapshot's persisted per-``k`` score cache
+#: (:func:`repro.service.snapshot.scores_to_payload`), so hot
+#: thresholds restart warm alongside the indexes.
+ARTIFACT_NAMES = ("tsd", "gct", "hybrid", "scores")
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -110,13 +129,44 @@ class StoredIndexes:
     tsd: Optional[TSDIndex] = None
     gct: Optional[GCTIndex] = None
     hybrid: Optional[HybridSearcher] = None
+    scores: Optional[Dict[int, ScoreEntry]] = None
 
     @property
     def loaded_names(self) -> List[str]:
         """Names of the artifacts that were actually materialised."""
         return [name for name, obj in
                 (("tsd", self.tsd), ("gct", self.gct),
-                 ("hybrid", self.hybrid)) if obj is not None]
+                 ("hybrid", self.hybrid), ("scores", self.scores))
+                if obj is not None]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`IndexStore.compact` pass reclaimed."""
+
+    removed_versions: int
+    removed_keys: Tuple[str, ...]
+    removed_files: int
+    reclaimed_bytes: int
+    kept_versions: int
+
+    def summary(self) -> str:
+        """One-line human summary for service logs."""
+        return (f"compacted: {self.removed_versions} version(s) and "
+                f"{len(self.removed_keys)} superseded lineage(s) removed, "
+                f"{self.removed_files} file(s) deleted "
+                f"({self.reclaimed_bytes:,} bytes), "
+                f"{self.kept_versions} version(s) kept")
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able form (the HTTP ``/compact`` response body)."""
+        return {
+            "removed_versions": self.removed_versions,
+            "removed_keys": list(self.removed_keys),
+            "removed_files": self.removed_files,
+            "reclaimed_bytes": self.reclaimed_bytes,
+            "kept_versions": self.kept_versions,
+        }
 
 
 class IndexStore:
@@ -133,6 +183,11 @@ class IndexStore:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self._root / "manifest.json"
+        # In-process writer mutex, held alongside the cross-process
+        # flock: without fcntl (non-POSIX) the on-disk lock degrades,
+        # and even one process can host concurrent writers (the
+        # router's per-graph update threads share this store).
+        self._write_mutex = threading.Lock()
         if self._manifest_path.exists():
             self._manifest = self._read_manifest()
         else:
@@ -168,10 +223,51 @@ class IndexStore:
         # Write-then-rename keeps the manifest readable even if the
         # process dies mid-write (a torn manifest would orphan every
         # artifact in the store).
-        tmp = self._manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(self._manifest, indent=2),
-                       encoding="utf-8")
-        os.replace(tmp, self._manifest_path)
+        self._write_json_atomic(self._manifest_path, self._manifest,
+                                indent=2)
+
+    def _write_json_atomic(self, path: Path, payload: Dict,
+                           indent: Optional[int] = None) -> None:
+        """Write JSON via tmp + :func:`os.replace` — never a torn file."""
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=indent), encoding="utf-8")
+        os.replace(tmp, path)
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive on-disk lock + manifest re-read for store writes.
+
+        Two processes (or two :class:`IndexStore` instances) sharing a
+        root each hold their own in-memory manifest; without the lock
+        and re-read, concurrent ``put`` calls would race on
+        ``manifest.json`` and the last write would silently drop the
+        other's versions.  POSIX ``flock`` on ``<root>/.lock``
+        serialises writers across processes; re-reading the manifest
+        under the lock merges whatever they committed meanwhile.  An
+        in-process mutex wraps the whole section, so concurrent writer
+        threads in *one* process (the router's per-graph updates) stay
+        safe even on platforms without :mod:`fcntl`, where the
+        cross-process half degrades to best-effort.
+        """
+        with self._write_mutex:
+            fd = os.open(self._root / ".lock",
+                         os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                if self._manifest_path.exists():
+                    self._manifest = self._read_manifest()
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+
+    def refresh(self) -> None:
+        """Re-read the manifest from disk (another writer may have
+        committed since this instance last looked)."""
+        if self._manifest_path.exists():
+            self._manifest = self._read_manifest()
 
     # ------------------------------------------------------------------
     # Catalogue queries
@@ -228,13 +324,17 @@ class IndexStore:
             tsd: Optional[TSDIndex] = None,
             gct: Optional[GCTIndex] = None,
             hybrid: Optional[HybridSearcher] = None,
+            scores: Optional[Dict] = None,
             previous: Optional[StoreVersion] = None) -> StoreVersion:
         """Persist artifacts as a new version of this graph's lineage.
 
         Artifacts passed as ``None`` are carried forward by reference
         from this graph's current version — only changed artifacts are
         rewritten, which is what makes a re-version cheap.  At least
-        one artifact must end up in the new version.
+        one artifact must end up in the new version.  ``scores`` is a
+        :func:`~repro.service.snapshot.scores_to_payload` dict (the
+        snapshot's per-``k`` score cache); an empty payload is skipped
+        rather than stored.
 
         ``previous`` links lineages across *content changes*: a live
         update produces a graph with a new fingerprint, so its patched
@@ -245,40 +345,80 @@ class IndexStore:
         content is stale by definition (a carried-over hybrid ranking
         would silently serve pre-update scores), so a cross-lineage
         version holds exactly the artifacts supplied here.
+
+        Artifact files are written via tmp + :func:`os.replace` and the
+        whole operation holds the store's on-disk lock (with a manifest
+        re-read), so a crash mid-write never leaves a torn artifact and
+        concurrent writers sharing a root never lose versions.
         """
-        key = graph_fingerprint(graph)
-        entry = self._manifest["graphs"].setdefault(
-            key, {"current": 0, "versions": {}})
-        number = entry["current"] + 1
-        if previous is not None and previous.version + 1 > number:
-            number = previous.version + 1
-        version_dir = self._root / "objects" / key / f"v{number}"
-        carried = entry["versions"].get(str(entry["current"]), {})
+        if scores is not None and not scores.get("thresholds"):
+            scores = None  # nothing cached: don't store an empty payload
+        with self._locked():
+            key = graph_fingerprint(graph)
+            entry = self._manifest["graphs"].setdefault(
+                key, {"current": 0, "versions": {}})
+            number = entry["current"] + 1
+            if previous is not None and previous.version + 1 > number:
+                number = previous.version + 1
+            version_dir = self._root / "objects" / key / f"v{number}"
+            carried = entry["versions"].get(str(entry["current"]), {})
 
-        artifacts: Dict[str, str] = {}
-        supplied = {"tsd": tsd, "gct": gct, "hybrid": hybrid}
-        for name in ARTIFACT_NAMES:
-            obj = supplied[name]
-            if obj is not None:
-                version_dir.mkdir(parents=True, exist_ok=True)
-                path = version_dir / f"{name}.json"
-                path.write_text(json.dumps(obj.to_payload()),
-                                encoding="utf-8")
-                artifacts[name] = str(path.relative_to(self._root))
-            elif name in carried:
-                artifacts[name] = carried[name]  # carried forward
-        if not artifacts:
-            raise StoreError("refusing to store an empty version: supply "
-                             "at least one of tsd=, gct=, hybrid=")
+            artifacts: Dict[str, str] = {}
+            supplied = {"tsd": tsd, "gct": gct, "hybrid": hybrid,
+                        "scores": scores}
+            for name in ARTIFACT_NAMES:
+                obj = supplied[name]
+                if obj is not None:
+                    version_dir.mkdir(parents=True, exist_ok=True)
+                    path = version_dir / f"{name}.json"
+                    payload = obj if name == "scores" else obj.to_payload()
+                    self._write_json_atomic(path, payload)
+                    artifacts[name] = str(path.relative_to(self._root))
+                elif name in carried:
+                    artifacts[name] = carried[name]  # carried forward
+            if not any(name in artifacts for name in
+                       ("tsd", "gct", "hybrid")):
+                raise StoreError("refusing to store an index-less version: "
+                                 "supply at least one of tsd=, gct=, hybrid=")
 
-        record = dict(artifacts)
-        if previous is not None and previous.key != key:
-            record["parent"] = {"key": previous.key,
-                                "version": previous.version}
-        entry["versions"][str(number)] = record
-        entry["current"] = number
-        self._write_manifest()
+            record = dict(artifacts)
+            if previous is not None and previous.key != key:
+                record["parent"] = {"key": previous.key,
+                                    "version": previous.version}
+            entry["versions"][str(number)] = record
+            entry["current"] = number
+            self._write_manifest()
         return StoreVersion(key=key, version=number, artifacts=artifacts)
+
+    def put_scores(self, graph: Graph, scores: Dict,
+                   key: Optional[str] = None) -> Optional[StoreVersion]:
+        """Attach (or refresh) the current version's ``scores`` artifact.
+
+        Score caches are derived data that grows *while serving* — hot
+        thresholds get memoised long after the indexes were persisted —
+        so unlike :meth:`put` this updates the current version's record
+        in place instead of minting a new version.  Returns the updated
+        :class:`StoreVersion`, or ``None`` when the payload holds no
+        thresholds (an empty cache is not worth a write).  ``key``
+        skips re-hashing, as in :meth:`has`.
+        """
+        if not scores.get("thresholds"):
+            return None
+        with self._locked():
+            version = self.current(graph, key=key)
+            entry = self._manifest["graphs"][version.key]
+            version_dir = (self._root / "objects" / version.key
+                           / f"v{version.version}")
+            version_dir.mkdir(parents=True, exist_ok=True)
+            path = version_dir / "scores.json"
+            self._write_json_atomic(path, scores)
+            relpath = str(path.relative_to(self._root))
+            entry["versions"][str(version.version)]["scores"] = relpath
+            self._write_manifest()
+            artifacts = dict(version.artifacts)
+            artifacts["scores"] = relpath
+        return StoreVersion(key=version.key, version=version.version,
+                            artifacts=artifacts)
 
     # ------------------------------------------------------------------
     # Reads
@@ -302,7 +442,7 @@ class IndexStore:
         """
         version = self.current(graph, key=key)
         wanted = version.artifact_names if names is None else list(names)
-        tsd = gct = hybrid = None
+        tsd = gct = hybrid = scores = None
         for name in wanted:
             if name not in version.artifacts:
                 continue
@@ -315,7 +455,114 @@ class IndexStore:
             elif name == "hybrid":
                 hybrid = HybridSearcher.from_payload(graph, payload,
                                                      source=source)
-        return StoredIndexes(version=version, tsd=tsd, gct=gct, hybrid=hybrid)
+            elif name == "scores":
+                scores = scores_from_payload(payload)
+        return StoredIndexes(version=version, tsd=tsd, gct=gct,
+                             hybrid=hybrid, scores=scores)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, keep: Iterable[str] = ()) -> CompactionReport:
+        """Garbage-collect versions unreachable from any lineage head.
+
+        A long-running service re-versions its lineage on every update
+        batch, so the store grows without bound.  Compaction keeps only
+        the *heads*: each graph key's current version, minus keys whose
+        current version has been superseded by a cross-lineage child
+        (a ``parent`` link points at it — the update lineage moved on
+        to new graph content).  Everything else is dropped from the
+        manifest.
+
+        ``keep`` names graph keys whose current version must survive
+        even when superseded — a caller (the router) may still be
+        *serving* a lineage another service's updates have moved past.
+
+        Artifact *files* are refcounted by relpath before deletion: a
+        surviving record may reference a file that physically lives
+        under a pruned version's directory (carry-forward), so only
+        files no surviving record references are deleted.  ``parent``
+        links whose target was pruned are stripped — a surviving
+        record never dangles.
+
+        Warm starts of every surviving head keep working unchanged; a
+        warm start of a *superseded* lineage (pre-update graph content)
+        will no longer find its versions — that is the space being
+        reclaimed.
+        """
+        with self._locked():
+            graphs = self._manifest["graphs"]
+
+            # (key, version) pairs referenced as a cross-lineage parent:
+            # their lineage was superseded by the child's content.
+            superseded: Set[Tuple[str, int]] = set()
+            for entry in graphs.values():
+                for record in entry["versions"].values():
+                    parent = record.get("parent")
+                    if parent is not None:
+                        superseded.add((parent["key"],
+                                        int(parent["version"])))
+
+            protected = set(keep)
+            removed_versions = 0
+            removed_keys: List[str] = []
+            for key in list(graphs):
+                entry = graphs[key]
+                current = entry["current"]
+                for number in list(entry["versions"]):
+                    if int(number) == current and \
+                            ((key, current) not in superseded
+                             or key in protected):
+                        continue  # a live head: keep
+                    del entry["versions"][number]
+                    removed_versions += 1
+                if not entry["versions"]:
+                    del graphs[key]
+                    removed_keys.append(key)
+
+            # Strip parent links whose target no longer exists.
+            for entry in graphs.values():
+                for record in entry["versions"].values():
+                    parent = record.get("parent")
+                    if parent is None:
+                        continue
+                    target = graphs.get(parent["key"], {}).get(
+                        "versions", {}).get(str(parent["version"]))
+                    if target is None:
+                        del record["parent"]
+
+            # Refcount artifact relpaths, then delete unreferenced files.
+            referenced: Set[str] = set()
+            for entry in graphs.values():
+                for record in entry["versions"].values():
+                    referenced.update(self._record_artifacts(record).values())
+            removed_files = 0
+            reclaimed = 0
+            objects = self._root / "objects"
+            if objects.is_dir():
+                for path in sorted(objects.rglob("*")):
+                    if not path.is_file():
+                        continue
+                    if str(path.relative_to(self._root)) in referenced:
+                        continue
+                    reclaimed += path.stat().st_size
+                    path.unlink()
+                    removed_files += 1
+                for directory in sorted(
+                        (p for p in objects.rglob("*") if p.is_dir()),
+                        reverse=True):
+                    if not any(directory.iterdir()):
+                        directory.rmdir()
+
+            self._write_manifest()
+            kept = sum(len(entry["versions"]) for entry in graphs.values())
+        return CompactionReport(
+            removed_versions=removed_versions,
+            removed_keys=tuple(removed_keys),
+            removed_files=removed_files,
+            reclaimed_bytes=reclaimed,
+            kept_versions=kept,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"IndexStore({str(self._root)!r}, "

@@ -157,7 +157,7 @@ def apply_batch(snapshot: Snapshot, updates: Sequence[UpdateLike],
     """
     start = time.perf_counter()
     batch = [_coerce(update) for update in updates]
-    graph = snapshot.graph.copy()
+    graph = snapshot.graph  # the property already hands out a copy
     old_vertices = set(graph.vertices())
 
     # --- 1. mutate the private graph copy, collecting the affected set

@@ -139,6 +139,53 @@ class TestIndexStore:
         with pytest.raises(StoreError):
             IndexStore(root)
 
+    def test_artifact_writes_leave_no_tmp_files(self, figure1, tmp_path):
+        """Artifacts go through tmp + os.replace (a crash mid-write must
+        never leave a torn artifact); nothing temporary survives."""
+        store = IndexStore(tmp_path / "store")
+        tsd = TSDIndex.build(figure1)
+        store.put(figure1, tsd=tsd, gct=GCTIndex.compress(tsd))
+        leftovers = [p for p in (tmp_path / "store").rglob("*.tmp")]
+        assert leftovers == []
+        for artifact in (tmp_path / "store" / "objects").rglob("*.json"):
+            json.loads(artifact.read_text(encoding="utf-8"))  # not torn
+
+    def test_two_writers_sharing_a_root_lose_nothing(self, figure1,
+                                                     tmp_path):
+        """Regression: two IndexStore instances on one root (two
+        processes in real life) each held a private manifest, and the
+        last write silently dropped the other's versions.  The on-disk
+        lock + manifest re-read in put() merges them."""
+        other = figure1.copy()
+        other.add_edge("v", "second-writer")
+        a = IndexStore(tmp_path / "store")
+        b = IndexStore(tmp_path / "store")  # stale private manifest
+        version_a = a.put(figure1, tsd=TSDIndex.build(figure1))
+        version_b = b.put(other, tsd=TSDIndex.build(other))
+        merged = IndexStore(tmp_path / "store")
+        assert set(merged.keys()) == {version_a.key, version_b.key}
+        assert merged.load(figure1).tsd is not None
+        assert merged.load(other).tsd is not None
+
+    def test_put_scores_updates_current_version_in_place(self, figure1,
+                                                         tmp_path):
+        from repro.service import scores_from_payload, scores_to_payload
+        store = IndexStore(tmp_path / "store")
+        store.put(figure1, tsd=TSDIndex.build(figure1))
+        snap = Snapshot.build(figure1)
+        snap.top_r(4, 2)
+        updated = store.put_scores(figure1,
+                                   scores_to_payload(snap.score_entries()))
+        assert updated.version == 1  # no new version minted
+        assert "scores" in updated.artifacts
+        loaded = IndexStore(tmp_path / "store").load(figure1)
+        assert sorted(loaded.scores) == [4]
+        score_map, ranking = loaded.scores[4]
+        assert score_map["v"] == 3
+        assert ranking[0] == ("v", 3)
+        # An empty cache is not worth a write.
+        assert store.put_scores(figure1, scores_to_payload({})) is None
+
     def test_cross_lineage_previous_link(self, figure1, tmp_path):
         """A content change re-versions: numbering continues from the
         parent and the manifest records the link."""
@@ -465,3 +512,202 @@ class TestDiversityService:
         service = DiversityService.start(figure1)
         assert service.score("v", 4) == 3
         assert len(service.contexts("v", 4)) == 3
+
+    def test_contexts_counted_in_stats_ledger(self, figure1):
+        """Regression: contexts() never went through _count_queries, so
+        the ledger undercounted served queries relative to top_r/score."""
+        service = DiversityService.start(figure1)
+        service.top_r(4, 1)
+        service.score("v", 4)
+        service.contexts("v", 4)
+        service.contexts("v", 3)
+        assert service.stats_payload()["queries"] == 4
+        assert "queries served:    4" in service.stats_summary()
+
+    def test_version_of_swallows_only_store_errors(self, figure1,
+                                                   tmp_path, monkeypatch):
+        """Regression: _version_of caught *all* exceptions, silently
+        dropping cross-lineage parent links on real store corruption.
+        StoreError (no lineage) stays handled; anything else propagates."""
+        store = IndexStore(tmp_path / "store")
+        service = DiversityService.start(figure1, store=store)
+
+        monkeypatch.setattr(store, "current",
+                            lambda *a, **kw: (_ for _ in ()).throw(
+                                StoreError("lineage compacted away")))
+        report = service.apply_updates([insert("v", "w-new")])
+        assert report.num_updates == 1  # handled: link-less re-version
+
+        monkeypatch.setattr(store, "current",
+                            lambda *a, **kw: (_ for _ in ()).throw(
+                                OSError("disk on fire")))
+        with pytest.raises(OSError):
+            service.apply_updates([insert("v", "w-newer")])
+
+
+# ----------------------------------------------------------------------
+# Snapshot immutability from outside
+# ----------------------------------------------------------------------
+class TestSnapshotGraphIsolation:
+    def test_graph_property_hands_out_a_defensive_copy(self, figure1):
+        """Regression: Snapshot.graph returned the snapshot's private
+        copy, so a caller mutating it corrupted the "immutable"
+        snapshot (and its content-hash store key)."""
+        snap = Snapshot.build(figure1)
+        before = _ranked(snap.top_r(4, 3))
+        fingerprint = graph_fingerprint(snap.graph)
+        leaked = snap.graph
+        leaked.add_edge("v", "vandal")
+        leaked.remove_edge("x1", "x2")
+        assert "vandal" not in snap.graph
+        assert snap.graph.has_edge("x1", "x2")
+        assert _ranked(snap.top_r(4, 3)) == before
+        assert graph_fingerprint(snap.graph) == fingerprint
+        assert snap.num_vertices == snap.graph.num_vertices
+        assert snap.num_edges == snap.graph.num_edges
+
+
+# ----------------------------------------------------------------------
+# Store compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_reclaims_superseded_versions_of_a_multi_update_lineage(
+            self, tmp_path):
+        """The acceptance bar: ≥1 stale version reclaimed on a
+        multi-update lineage, with warm starts intact afterwards."""
+        graph = _two_cliques()
+        store = IndexStore(tmp_path / "store")
+        service = DiversityService.start(graph, store=store)
+        service.apply_updates([delete("b2", "b3")])
+        service.apply_updates([insert("b2", "b3"), insert("a0", "b0")])
+        assert len(store.keys()) == 3  # one lineage per content change
+
+        report = store.compact()
+        assert report.removed_versions >= 2
+        assert len(report.removed_keys) == 2
+        assert report.reclaimed_bytes > 0
+        assert report.kept_versions == 1
+
+        # The surviving head still warm-starts from a fresh process.
+        final = service.snapshot.graph
+        revived = DiversityService.warm(final, IndexStore(tmp_path / "store"))
+        for k, r in GRID:
+            assert _ranked(revived.top_r(k, r)) == \
+                _ranked(online_search(final, k, r)), (k, r)
+
+    def test_never_deletes_artifacts_carried_forward_into_a_head(
+            self, figure1, tmp_path):
+        """A head's record may reference files physically stored under a
+        pruned version's directory; refcounting must keep them."""
+        store = IndexStore(tmp_path / "store")
+        tsd = TSDIndex.build(figure1)
+        v1 = store.put(figure1, tsd=tsd)
+        v2 = store.put(figure1, gct=GCTIndex.compress(tsd))
+        assert v2.artifacts["tsd"] == v1.artifacts["tsd"]  # carried forward
+
+        report = store.compact()
+        assert report.removed_versions == 1  # v1's record
+        assert (tmp_path / "store" / v1.artifacts["tsd"]).exists()
+        loaded = IndexStore(tmp_path / "store").load(figure1)
+        assert loaded.tsd.score("v", 4) == 3
+        assert loaded.gct.score("v", 4) == 3
+
+    def test_strips_parent_links_to_pruned_versions(self, figure1,
+                                                    tmp_path):
+        store = IndexStore(tmp_path / "store")
+        v1 = store.put(figure1, tsd=TSDIndex.build(figure1))
+        mutated = figure1.copy()
+        mutated.add_edge("v", "brand-new")
+        store.put(mutated, tsd=TSDIndex.build(mutated), previous=v1)
+        store.compact()
+        manifest = json.loads(
+            (tmp_path / "store" / "manifest.json").read_text())
+        assert v1.key not in manifest["graphs"]
+        (record,) = [rec
+                     for entry in manifest["graphs"].values()
+                     for rec in entry["versions"].values()]
+        assert "parent" not in record
+
+    def test_compacting_an_empty_or_single_version_store_is_a_noop(
+            self, figure1, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        assert store.compact().removed_versions == 0
+        store.put(figure1, tsd=TSDIndex.build(figure1))
+        report = store.compact()
+        assert report.removed_versions == 0
+        assert report.kept_versions == 1
+        assert store.load(figure1).tsd is not None
+
+    def test_report_summary_and_payload(self, figure1, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        tsd = TSDIndex.build(figure1)
+        store.put(figure1, tsd=tsd)
+        store.put(figure1, gct=GCTIndex.compress(tsd))
+        report = store.compact()
+        assert "1 version(s)" in report.summary()
+        assert report.to_payload()["removed_versions"] == 1
+
+
+# ----------------------------------------------------------------------
+# Persisted score caches
+# ----------------------------------------------------------------------
+class TestPersistedScores:
+    def test_hot_thresholds_survive_a_warm_restart(self, tmp_path):
+        """The tentpole storage claim: persisted score caches re-seed on
+        warm start, so hot thresholds restart warm (search_space 0)."""
+        graph = _random_graph(20, 0.35, 13)
+        store = IndexStore(tmp_path / "store")
+        first = DiversityService.start(graph, store=store)
+        expected = {k: _ranked(first.top_r(k, 9)) for k in (3, 4)}
+        assert first.persist_scores() == [3, 4]
+
+        revived = DiversityService.start(graph,
+                                         store=IndexStore(tmp_path / "store"))
+        assert revived.warm_started
+        assert revived.snapshot.cached_thresholds() == [3, 4]
+        for k in (3, 4):
+            result = revived.top_r(k, 9)
+            assert result.search_space == 0  # served from the seeded cache
+            assert _ranked(result) == expected[k]
+        # Un-persisted thresholds still compute exactly.
+        assert _ranked(revived.top_r(5, 9)) == \
+            _ranked(online_search(graph, 5, 9))
+
+    def test_persist_scores_requires_a_store(self, figure1):
+        service = DiversityService.start(figure1)
+        with pytest.raises(StoreError):
+            service.persist_scores()
+
+    def test_update_re_version_carries_retained_scores_to_disk(
+            self, tmp_path):
+        """apply_updates persists the surviving cache entries with the
+        new version, so a restart after an update is warm for them."""
+        graph = _two_cliques()
+        store = IndexStore(tmp_path / "store")
+        service = DiversityService.start(graph, store=store)
+        for k in (2, 3, 4):
+            service.top_r(k, 9)
+        service.apply_updates([delete("b2", "b3")])  # drops k=3 only
+
+        mutated = service.snapshot.graph
+        revived = DiversityService.warm(mutated,
+                                        IndexStore(tmp_path / "store"))
+        assert revived.snapshot.cached_thresholds() == [2, 4]
+        assert revived.top_r(2, 9).search_space == 0
+        for k in (2, 3, 4):
+            assert _ranked(revived.top_r(k, 9)) == \
+                _ranked(online_search(mutated, k, 9)), k
+
+    def test_scores_payload_round_trip(self):
+        from repro.service import scores_from_payload, scores_to_payload
+        snap = Snapshot.build(_two_cliques())
+        snap.top_r(3, 4)
+        entries = snap.score_entries()
+        restored = scores_from_payload(
+            json.loads(json.dumps(scores_to_payload(entries))))
+        assert sorted(restored) == sorted(entries)
+        for k, (score_map, ranking) in entries.items():
+            assert restored[k][0] == score_map
+            assert restored[k][1] == ranking
+        with pytest.raises(InvalidParameterError):
+            scores_from_payload({"format": "something-else"})
