@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: test doctest check smoke-service smoke-server examples bench-planner bench-warm bench-server benchmarks
+.PHONY: test doctest check smoke-service smoke-server smoke-parallel-build examples bench-planner bench-warm bench-server bench-build benchmarks
 
 test:           ## tier-1 verify (ROADMAP)
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -22,6 +22,9 @@ smoke-server:   ## end-to-end HTTP: start server, query, update, compact, stop
 	PYTHONPATH=src $(PY) examples/http_service.py
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_server.py
 
+smoke-parallel-build:  ## jobs=2 builds must byte-match serial builds
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_parallel_build.py
+
 examples:       ## every example script, executed (they assert their claims)
 	for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -36,6 +39,9 @@ bench-warm:     ## service warm start vs cold build (fast)
 
 bench-server:   ## serving throughput: direct vs routed vs HTTP (fast)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_server_throughput.py --benchmark-disable
+
+bench-build:    ## index build: per-vertex vs shared pass vs worker pool
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_parallel_build.py --benchmark-disable
 
 benchmarks:     ## full paper-reproduction report (slow)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_*.py --benchmark-disable

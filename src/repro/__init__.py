@@ -55,6 +55,7 @@ from repro.models import (
     CoreDivModel,
     RandomModel,
 )
+from repro.build import BuildPlan, ParallelIndexBuilder
 from repro.engine import EngineConfig, QueryEngine
 from repro.service import DiversityService, IndexStore, Snapshot
 
@@ -91,6 +92,8 @@ __all__ = [
     "CompDivModel",
     "CoreDivModel",
     "RandomModel",
+    "BuildPlan",
+    "ParallelIndexBuilder",
     "QueryEngine",
     "EngineConfig",
     "DiversityService",

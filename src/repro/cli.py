@@ -49,7 +49,23 @@ from repro.core.tsd import TSDIndex
 from repro.core.gct import GCTIndex
 from repro.community.tcp import TCPIndex
 from repro.datasets.registry import dataset_names, load_dataset
-from repro.engine import ENGINE_METHODS, QueryEngine
+from repro.engine import ENGINE_METHODS, EngineConfig, QueryEngine
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--jobs`` flag of every index-building subcommand."""
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="index-build workers: 0 auto-plans (shared-pass build, "
+             "worker pool only when the graph is large and CPUs are "
+             "spare), 1 forces the serial shared pass, N>=2 requests N "
+             "worker processes, -1 keeps the legacy per-vertex build "
+             "(default: %(default)s)")
+
+
+def _jobs_value(args: argparse.Namespace):
+    """CLI ``--jobs`` to library ``jobs``: ``-1`` means ``None``."""
+    return None if args.jobs < 0 else args.jobs
 
 
 def _load_graph(path: str) -> Graph:
@@ -77,7 +93,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_topr(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    engine = QueryEngine(graph)
+    engine = QueryEngine(graph, EngineConfig(build_jobs=_jobs_value(args)))
     result = engine.top_r(args.k, args.r, method=args.method)
     if args.method == "auto":
         for decision in engine.stats().decisions:
@@ -134,10 +150,11 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
 def _cmd_build_index(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
+    jobs = _jobs_value(args)
     if args.type == "tsd":
-        index = TSDIndex.build(graph)
+        index = TSDIndex.build(graph, jobs=jobs)
     else:
-        index = GCTIndex.build(graph)
+        index = GCTIndex.build(graph, jobs=jobs)
     index.save(args.out)
     profile = index.build_profile
     print(f"{args.type.upper()}-index of {graph.num_vertices} vertices "
@@ -164,7 +181,7 @@ def _cmd_serve_build(args: argparse.Namespace) -> int:
     from repro.service import IndexStore
     graph = _load_graph(args.graph)
     store = IndexStore(args.store)
-    engine = QueryEngine(graph)
+    engine = QueryEngine(graph, EngineConfig(build_jobs=_jobs_value(args)))
     artifacts = [name.strip() for name in args.artifacts.split(",")
                  if name.strip()]
     version = engine.persist(store, artifacts=artifacts)
@@ -224,7 +241,7 @@ def _cmd_serve_warm(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import DiversityRouter, serve
     store = args.store or None
-    router = DiversityRouter(store=store)
+    router = DiversityRouter(store=store, build_jobs=_jobs_value(args))
     if not args.graph:
         print("error: register at least one graph with --graph NAME=PATH",
               file=sys.stderr)
@@ -353,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "planner choose")
     p.add_argument("--contexts", action="store_true",
                    help="print the social contexts of each answer vertex")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_topr)
 
     p = sub.add_parser("engine-stats",
@@ -375,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("out")
     p.add_argument("--type", choices=["tsd", "gct"], default="gct")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_build_index)
 
     p = sub.add_parser("query-index", help="top-r from a persisted index")
@@ -391,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifacts", default="tsd,gct,hybrid",
                    help="comma-separated artifacts to persist "
                         "(default: %(default)s)")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_serve_build)
 
     p = sub.add_parser("serve-warm",
@@ -424,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "from it and persist into it (created if missing)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("sparsify", help="write the Property-1 reduced graph")

@@ -155,9 +155,21 @@ class GCTIndex:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph: Graph) -> "GCTIndex":
+    def build(cls, graph: Graph, jobs: Optional[int] = None,
+              plan=None) -> "GCTIndex":
         """Algorithm 7 end-to-end: one-shot extraction, bitmap peeling,
-        Algorithm 8 assembly.  Phase timings land in :attr:`build_profile`."""
+        Algorithm 8 assembly.  Phase timings land in :attr:`build_profile`.
+
+        ``jobs=None`` (default) keeps this single-threaded loop; any
+        other value routes through the :mod:`repro.build` pipeline
+        (``0`` auto-plans, ``1`` forces the serial shared pass, ``>= 2``
+        requests a worker pool — see
+        :meth:`repro.build.BuildPlan.decide`), producing a
+        byte-identical index (modulo the build profile).
+        """
+        if jobs is not None or plan is not None:
+            from repro.build import build_gct_index
+            return build_gct_index(graph, jobs=jobs, plan=plan)
         watch = StopWatch()
         with watch.phase("extraction"):
             ego_lists = list(iter_ego_edge_lists(graph))
@@ -333,12 +345,13 @@ class GCTIndex:
         """Size estimate for the Table 3 comparison."""
         return self.payload_slots() * bytes_per_slot
 
-    def to_payload(self) -> Dict:
+    def to_payload(self, include_profile: bool = True) -> Dict:
         """The JSON-encodable artifact form of this index.
 
         Shared by :meth:`save` and the service layer's
         :class:`~repro.service.store.IndexStore` (labels must be
-        JSON-encodable).
+        JSON-encodable).  ``include_profile=False`` strips the
+        wall-clock build profile so equivalent indexes byte-compare.
         """
         vertices = self._vertices
         position = {v: i for i, v in enumerate(vertices)}
@@ -356,7 +369,7 @@ class GCTIndex:
                 for v, edges in self._superedges.items()
             },
         }
-        if self.build_profile is not None:
+        if include_profile and self.build_profile is not None:
             payload["build_profile"] = self.build_profile.to_payload()
         return payload
 

@@ -173,19 +173,45 @@ class TSDIndex:
             v: [w for _, _, w in edges] for v, edges in forests.items()
         }
         self.build_profile = build_profile
+        # Per-k (bounds, visit order) memo for top_r, plus the vertex
+        # position map both the memo and the collector tie-breaks use.
+        # Invalidated together on any index mutation.  Keys are clamped
+        # to max forest weight + 1 (every k beyond it has identical
+        # all-zero bounds), so the memo holds at most tau* + 1 entries
+        # of O(n) each — no unbounded growth under adversarial k sweeps.
+        self._bound_cache: Dict[int, Tuple[Dict[Vertex, int],
+                                           List[Vertex]]] = {}
+        self._position: Optional[Dict[Vertex, int]] = None
+        self._max_weight: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction (Algorithm 5)
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph: Graph) -> "TSDIndex":
-        """Construct the TSD-index with per-vertex ego decomposition.
+    def build(cls, graph: Graph, jobs: Optional[int] = None,
+              plan=None) -> "TSDIndex":
+        """Construct the TSD-index.
 
-        Per vertex: extract ``G_N(v)`` (triangle listing), truss-decompose
-        it (Algorithm 1), then build the maximum spanning forest of the
-        trussness-weighted ego-network.  Phase timings are recorded in
-        :attr:`build_profile` for the Table 4 comparison.
+        ``jobs=None`` (the backwards-compatible default) runs the
+        per-vertex Algorithm 5 loop: extract ``G_N(v)`` (triangle
+        listing), truss-decompose it (Algorithm 1), build the maximum
+        spanning forest of the trussness-weighted ego-network.  Phase
+        timings are recorded in :attr:`build_profile` for the Table 4
+        comparison.
+
+        Any other ``jobs`` value routes through the
+        :mod:`repro.build` pipeline — one shared triangle pass feeding
+        in-process or multi-process decomposition (``0`` auto-plans,
+        ``1`` forces the serial shared pass, ``>= 2`` requests that many
+        workers; see :meth:`repro.build.BuildPlan.decide`).  ``plan``
+        overrides the heuristic with an explicit
+        :class:`~repro.build.BuildPlan`.  Every strategy returns an
+        index whose :meth:`to_payload` is byte-identical (modulo the
+        build profile) to this per-vertex build.
         """
+        if jobs is not None or plan is not None:
+            from repro.build import build_tsd_index
+            return build_tsd_index(graph, jobs=jobs, plan=plan)
         watch = StopWatch()
         forests: Dict[Vertex, List[ForestEdge]] = {}
         for v in graph.vertices():
@@ -282,15 +308,33 @@ class TSDIndex:
         answer set's minimum (a tied bound could still displace a tied
         vertex with a later insertion index — the canonical ranking
         contract).  ``search_space`` counts actual score computations.
+
+        The ``(bounds, visit order)`` pair is a pure function of the
+        stored forests and ``k``, so it is computed once per threshold
+        and memoised — repeated queries at a hot ``k`` skip the
+        all-vertex bound pass and the sort entirely.  Mutations
+        (:meth:`replace_forest`, :meth:`drop_vertex`) invalidate the
+        memo.
         """
         self._check_k(k)
         if r < 1:
             raise InvalidParameterError(f"r must be >= 1, got {r}")
         start = time.perf_counter()
         r = min(r, max(len(self._vertices), 1))
-        bounds = {v: tsd_upper_bound(self._weights[v], k) for v in self._vertices}
-        position = {v: i for i, v in enumerate(self._vertices)}
-        order = sorted(self._vertices, key=lambda v: (-bounds[v], position[v]))
+        position = self._positions()
+        # Clamp the memo key: past the max forest weight every bound is
+        # zero whatever k is, so all those thresholds share one entry
+        # (floored at 2 — the smallest k the bound accepts).
+        key = min(k, max(self._max_forest_weight() + 1, 2))
+        cached = self._bound_cache.get(key)
+        if cached is None:
+            bounds = {v: tsd_upper_bound(self._weights[v], key)
+                      for v in self._vertices}
+            order = sorted(self._vertices,
+                           key=lambda v: (-bounds[v], position[v]))
+            self._bound_cache[key] = (bounds, order)
+        else:
+            bounds, order = cached
         collector = CanonicalTopR(r, position.__getitem__)
         search_space = 0
         for v in order:
@@ -322,6 +366,26 @@ class TSDIndex:
             raise InvalidParameterError(
                 f"vertex {v!r} is not in the TSD-index")
 
+    def _positions(self) -> Dict[Vertex, int]:
+        """Vertex → rank in insertion order, rebuilt after mutations."""
+        if self._position is None:
+            self._position = {v: i for i, v in enumerate(self._vertices)}
+        return self._position
+
+    def _max_forest_weight(self) -> int:
+        """Max stored forest-edge weight (0 for an edgeless index);
+        weight lists are descending, so it is each list's head."""
+        if self._max_weight is None:
+            self._max_weight = max(
+                (w[0] for w in self._weights.values() if w), default=0)
+        return self._max_weight
+
+    def _invalidate_query_caches(self) -> None:
+        """Drop memoised bounds/orders and positions (forests changed)."""
+        self._bound_cache.clear()
+        self._position = None
+        self._max_weight = None
+
     # ------------------------------------------------------------------
     # Mutation hooks for dynamic maintenance (Section 5.3 remarks)
     # ------------------------------------------------------------------
@@ -334,6 +398,7 @@ class TSDIndex:
             self._vertices.append(v)
         self._forests[v] = ordered
         self._weights[v] = [w for _, _, w in ordered]
+        self._invalidate_query_caches()
 
     def drop_vertex(self, v: Vertex) -> None:
         """Remove ``v`` from the index (vertex deleted from the graph)."""
@@ -341,6 +406,7 @@ class TSDIndex:
             del self._forests[v]
             del self._weights[v]
             self._vertices.remove(v)
+            self._invalidate_query_caches()
 
     # ------------------------------------------------------------------
     # Size accounting and persistence (Table 3 columns)
@@ -358,14 +424,18 @@ class TSDIndex:
         """Size estimate used for the Table 3 index-size comparison."""
         return self.payload_slots() * bytes_per_slot
 
-    def to_payload(self) -> Dict:
+    def to_payload(self, include_profile: bool = True) -> Dict:
         """The JSON-encodable artifact form of this index.
 
         Shared by :meth:`save` and the service layer's
         :class:`~repro.service.store.IndexStore`, which persists index
         artifacts without owning their formats.  The build profile, when
         present, rides along so a loaded index still reports how its
-        construction time was spent (Table 4).
+        construction time was spent (Table 4).  Pass
+        ``include_profile=False`` to drop it — the profile is the one
+        wall-clock-dependent field, so stripping it makes payloads of
+        equivalent indexes byte-comparable (the build-equivalence tests
+        and benches rely on this).
         """
         vertices = self._vertices
         position = {v: i for i, v in enumerate(vertices)}
@@ -379,7 +449,7 @@ class TSDIndex:
                 for v, edges in self._forests.items()
             },
         }
-        if self.build_profile is not None:
+        if include_profile and self.build_profile is not None:
             payload["build_profile"] = self.build_profile.to_payload()
         return payload
 

@@ -16,6 +16,7 @@ CSR here buys memory compactness and deterministic layout, not time.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import GraphError, VertexNotFoundError
@@ -53,13 +54,24 @@ class CSRGraph:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Freeze a :class:`Graph`; dense ids follow insertion order."""
+        """Freeze a :class:`Graph`; dense ids follow insertion order.
+
+        Rows are accumulated in one pass over the edges — each label is
+        hashed once per edge endpoint — and then int-sorted, instead of
+        re-hashing every adjacency set through a per-vertex
+        ``sorted(generator)``.
+        """
         labels = list(graph.vertices())
         ids = {v: i for i, v in enumerate(labels)}
+        rows: List[List[int]] = [[] for _ in labels]
+        for u, v in graph.edges():
+            iu, iv = ids[u], ids[v]
+            rows[iu].append(iv)
+            rows[iv].append(iu)
         indptr = [0]
         indices: List[int] = []
-        for v in labels:
-            row = sorted(ids[u] for u in graph.neighbors(v))
+        for row in rows:
+            row.sort()
             indices.extend(row)
             indptr.append(len(indices))
         return cls(indptr, indices, labels)
@@ -83,9 +95,8 @@ class CSRGraph:
 
     def has_edge_ids(self, i: int, j: int) -> bool:
         """Edge test via binary search in the sorted row."""
-        import bisect
         lo, hi = self.indptr[i], self.indptr[i + 1]
-        pos = bisect.bisect_left(self.indices, j, lo, hi)
+        pos = bisect_left(self.indices, j, lo, hi)
         return pos < hi and self.indices[pos] == j
 
     def id_of(self, label: Vertex) -> int:

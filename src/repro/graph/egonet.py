@@ -6,8 +6,8 @@ The ego-network ``G_N(v)`` of a vertex ``v`` is the subgraph induced by
 ``v``, which is why ego-network extraction is fundamentally a triangle
 problem.
 
-Two extraction strategies are provided, matching the two approaches the
-paper evaluates:
+Three extraction strategies are provided — the two the paper evaluates
+plus the compact-id pass the build pipeline uses:
 
 * :func:`ego_network` — per-vertex extraction, as used by the online
   algorithms and TSD-index construction (Algorithm 5).  Each triangle
@@ -17,6 +17,9 @@ paper evaluates:
   ego-network of every common neighbour ``w``.  Each triangle is touched
   exactly three times — half the six touches of repeated per-vertex
   extraction — which is the speedup Table 4 measures.
+* :func:`all_ego_edge_id_lists` — one degree-ordered triangle
+  enumeration (each triangle touched *once*) emitting edge lists on
+  compact integer ids; the extraction phase of :mod:`repro.build`.
 """
 
 from __future__ import annotations
@@ -25,6 +28,33 @@ from typing import Dict, Iterator, List, Tuple
 
 from repro.graph.graph import Graph, Vertex, Edge
 
+#: One ego edge on compact integer ids: ``(i, j)`` with ``i < j``, where
+#: ids are positions in the graph's vertex insertion order.
+EgoIdEdge = Tuple[int, int]
+
+
+def _iter_ego_edges(graph: Graph, v: Vertex) -> Iterator[Edge]:
+    """Yield each edge of ``G_N(v)`` once, as ``(u, w)`` with
+    ``index(u) < index(w)`` — the canonical orientation.
+
+    The one neighbour-intersection loop (iterate the smaller of ``N(u)``
+    and ``N(v)``, dedup by insertion index) behind :func:`ego_network`,
+    :func:`ego_edge_count` and :func:`ego_edge_id_list`.
+    """
+    nbrs = graph.neighbors(v)
+    index = graph.vertex_index
+    for u in nbrs:
+        iu = index(u)
+        cands = graph.neighbors(u)
+        if len(cands) > len(nbrs):
+            for w in nbrs:
+                if index(w) > iu and w in cands:
+                    yield (u, w)
+        else:
+            for w in cands:
+                if w in nbrs and index(w) > iu:
+                    yield (u, w)
+
 
 def ego_network(graph: Graph, v: Vertex) -> Graph:
     """The ego-network ``G_N(v)`` as a standalone :class:`Graph`.
@@ -32,38 +62,16 @@ def ego_network(graph: Graph, v: Vertex) -> Graph:
     Every neighbour of ``v`` appears as a vertex (possibly isolated);
     edges are the pairs of neighbours adjacent in ``graph``.
     """
-    nbrs = graph.neighbors(v)
-    ordered = sorted(nbrs, key=graph.vertex_index)
-    ego = Graph(vertices=ordered)
-    index = graph.vertex_index
-    for u in ordered:
-        iu = index(u)
-        # Iterate the smaller of N(u) and N(v) for the intersection.
-        cands = graph.neighbors(u)
-        if len(cands) > len(nbrs):
-            for w in nbrs:
-                if index(w) > iu and w in cands:
-                    ego.add_edge(u, w)
-        else:
-            for w in cands:
-                if w in nbrs and index(w) > iu:
-                    ego.add_edge(u, w)
+    ego = Graph(vertices=sorted(graph.neighbors(v),
+                                key=graph.vertex_index))
+    for u, w in _iter_ego_edges(graph, v):
+        ego.add_edge(u, w)
     return ego
 
 
 def ego_edge_count(graph: Graph, v: Vertex) -> int:
     """``m_v``: the number of edges in ``G_N(v)`` (triangles through ``v``)."""
-    nbrs = graph.neighbors(v)
-    index = graph.vertex_index
-    count = 0
-    for u in nbrs:
-        iu = index(u)
-        cands = graph.neighbors(u)
-        if len(cands) > len(nbrs):
-            count += sum(1 for w in nbrs if index(w) > iu and w in cands)
-        else:
-            count += sum(1 for w in cands if w in nbrs and index(w) > iu)
-    return count
+    return sum(1 for _ in _iter_ego_edges(graph, v))
 
 
 def all_ego_networks(graph: Graph) -> Dict[Vertex, Graph]:
@@ -94,6 +102,71 @@ def all_ego_networks(graph: Graph) -> Dict[Vertex, Graph]:
             if w in nv:
                 egos[w].add_edge(u, v)
     return egos
+
+
+def all_ego_edge_id_lists(graph: Graph
+                          ) -> Tuple[List[Vertex], List[List[EgoIdEdge]]]:
+    """Every ego edge list on compact integer ids, one triangle touch.
+
+    The sharpest extraction strategy of the three: triangles are
+    enumerated via the degree ordering (each triangle found *once*, the
+    ``O(ρ m)`` bound of :mod:`repro.graph.triangles`), and each triangle
+    ``△uvw`` contributes one edge to each of the three ego-networks.
+    :func:`iter_ego_edge_lists` touches each triangle three times (once
+    per edge) and :func:`ego_network` six; this pass touches it once.
+
+    Returns ``(labels, buckets)`` where ``labels`` is the vertex list in
+    insertion order and ``buckets[i]`` holds the edges of
+    ``G_N(labels[i])`` as ``(a, b)`` id pairs with ``a < b`` — ids are
+    insertion positions, so the pairs are exactly the graph's canonical
+    edge tuples translated to ids.  Compact ids make the result cheap to
+    ship to worker processes (no label pickling) and are what the
+    :mod:`repro.build` pipeline shards across its pool.
+    """
+    labels = list(graph.vertices())
+    n = len(labels)
+    ids = {v: i for i, v in enumerate(labels)}
+    adj: List[set] = [set() for _ in range(n)]
+    for i, v in enumerate(labels):
+        adj[i] = {ids[u] for u in graph.neighbors(v)}
+    # Degree ordering on ids (degree, id) — id order equals insertion
+    # order, so this is exactly Graph.degree_order on dense ids.
+    order = sorted(range(n), key=lambda i: (len(adj[i]), i))
+    rank = [0] * n
+    for r, i in enumerate(order):
+        rank[i] = r
+    forward: List[set] = [set() for _ in range(n)]
+    for i in range(n):
+        ri = rank[i]
+        forward[i] = {j for j in adj[i] if rank[j] > ri}
+    buckets: List[List[EgoIdEdge]] = [[] for _ in range(n)]
+    for u in range(n):
+        fu = forward[u]
+        bu = buckets[u]
+        for v in fu:
+            common = fu & forward[v]  # C-speed set intersection
+            if common:
+                bv = buckets[v]
+                for w in common:
+                    # Triangle {u, v, w}: edge (v, w) lies in G_N(u), etc.
+                    bu.append((v, w) if v < w else (w, v))
+                    bv.append((u, w) if u < w else (w, u))
+                    buckets[w].append((u, v) if u < v else (v, u))
+    return labels, buckets
+
+
+def ego_edge_id_list(graph: Graph, ids: Dict[Vertex, int],
+                     v: Vertex) -> List[EgoIdEdge]:
+    """The edges of ``G_N(v)`` as compact-id pairs, for one vertex.
+
+    Per-vertex counterpart of :func:`all_ego_edge_id_lists` (same output
+    encoding, intersection-based like :func:`ego_network`); used by the
+    update path, which repairs a handful of affected ego-networks and
+    must not pay for a global pass.  ``ids`` maps every vertex to its
+    insertion position — positions are monotone in insertion index, so
+    the canonical ``(u, w)`` orientation translates to ``id(u) < id(w)``.
+    """
+    return [(ids[u], ids[w]) for u, w in _iter_ego_edges(graph, v)]
 
 
 def iter_ego_edge_lists(graph: Graph) -> Iterator[Tuple[Vertex, List[Edge]]]:

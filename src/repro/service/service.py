@@ -50,9 +50,15 @@ class DiversityService:
     """
 
     def __init__(self, snapshot: Snapshot,
-                 store: Optional[IndexStore] = None) -> None:
+                 store: Optional[IndexStore] = None,
+                 build_jobs: Optional[int] = 0) -> None:
         self._snapshot = snapshot
         self._store = store
+        #: Worker request for every build this service triggers (cold
+        #: snapshot builds and update-batch ego repairs); see
+        #: :meth:`repro.build.BuildPlan.decide`.  Artifacts are
+        #: byte-identical whatever the strategy.
+        self.build_jobs = build_jobs
         self._write_lock = threading.Lock()
         # Counters get their own lock: the *serving* path stays
         # lock-free (one atomic snapshot-reference read), but a bare
@@ -73,39 +79,46 @@ class DiversityService:
     # ------------------------------------------------------------------
     @classmethod
     def start(cls, graph: Graph,
-              store: Optional[IndexStore] = None) -> "DiversityService":
+              store: Optional[IndexStore] = None,
+              build_jobs: Optional[int] = 0) -> "DiversityService":
         """Serve ``graph``, warm when the store already knows it.
 
         With a store: a stored lineage for this graph's content is
         loaded (zero index builds); otherwise the service cold-builds
-        once and persists the artifacts so the *next* start is warm.
+        once — through the :mod:`repro.build` pipeline under
+        ``build_jobs`` — and persists the artifacts so the *next* start
+        is warm.
         """
         if store is not None and store.has(graph):
-            return cls.warm(graph, store)
-        return cls.cold(graph, store=store)
+            return cls.warm(graph, store, build_jobs=build_jobs)
+        return cls.cold(graph, store=store, build_jobs=build_jobs)
 
     @classmethod
-    def warm(cls, graph: Graph, store: IndexStore) -> "DiversityService":
+    def warm(cls, graph: Graph, store: IndexStore,
+             build_jobs: Optional[int] = 0) -> "DiversityService":
         """Serve from stored artifacts only — no index builds at all.
 
-        Raises :class:`~repro.errors.StoreError` when the store has no
-        lineage for this graph's content.
+        ``build_jobs`` still matters later: update batches repair
+        affected ego-networks under it.  Raises
+        :class:`~repro.errors.StoreError` when the store has no lineage
+        for this graph's content.
         """
         loaded = store.load(graph)
         snapshot = Snapshot(graph, tsd=loaded.tsd, gct=loaded.gct,
                             hybrid=loaded.hybrid, scores=loaded.scores,
                             version=loaded.version.version,
                             key=loaded.version.key)
-        service = cls(snapshot, store=store)
+        service = cls(snapshot, store=store, build_jobs=build_jobs)
         service.warm_started = True
         return service
 
     @classmethod
     def cold(cls, graph: Graph,
-             store: Optional[IndexStore] = None) -> "DiversityService":
+             store: Optional[IndexStore] = None,
+             build_jobs: Optional[int] = 0) -> "DiversityService":
         """Build the snapshot from scratch; persist it when given a store."""
-        snapshot = Snapshot.build(graph)
-        service = cls(snapshot, store=store)
+        snapshot = Snapshot.build(graph, jobs=build_jobs)
+        service = cls(snapshot, store=store, build_jobs=build_jobs)
         if store is not None:
             version = store.put(graph, tsd=snapshot.tsd, gct=snapshot.gct)
             snapshot.version = version.version
@@ -163,7 +176,8 @@ class DiversityService:
         """
         with self._write_lock:
             current = self._snapshot
-            next_snapshot, report = apply_batch(current, updates)
+            next_snapshot, report = apply_batch(current, updates,
+                                                jobs=self.build_jobs)
             if self._store is not None:
                 previous = self._version_of(current)
                 # The snapshot's private graph: store writes only read

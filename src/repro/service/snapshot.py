@@ -134,10 +134,20 @@ class Snapshot:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph: Graph) -> "Snapshot":
-        """Cold-build a snapshot straight from a graph (TSD then GCT)."""
-        tsd = TSDIndex.build(graph)
-        return cls(graph, tsd=tsd, gct=GCTIndex.compress(tsd))
+    def build(cls, graph: Graph, jobs: Optional[int] = 0) -> "Snapshot":
+        """Cold-build a snapshot straight from a graph (TSD and GCT).
+
+        Construction goes through the :mod:`repro.build` pipeline: one
+        shared triangle pass and one decomposition feed *both* indexes,
+        auto-planned serial or multi-process by ``jobs`` (see
+        :meth:`repro.build.BuildPlan.decide`; ``None`` keeps the legacy
+        per-vertex TSD build + compress).  The resulting artifacts are
+        byte-identical across strategies, so snapshots built with
+        different ``jobs`` values share store lineages.
+        """
+        from repro.build import build_indexes
+        tsd, gct = build_indexes(graph, jobs=jobs)
+        return cls(graph, tsd=tsd, gct=gct)
 
     # ------------------------------------------------------------------
     # Read-only state

@@ -34,10 +34,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import GraphError, InvalidParameterError
 from repro.graph.graph import Graph, Vertex
-from repro.graph.egonet import ego_network
-from repro.truss.decomposition import truss_decomposition
 from repro.core.diversity import profile_from_weights
-from repro.core.tsd import TSDIndex, ForestEdge, maximum_spanning_forest
+from repro.core.tsd import TSDIndex, ForestEdge
 from repro.core.gct import GCTIndex, assemble_gct
 from repro.core.hybrid import HybridSearcher
 from repro.service.snapshot import ScoreEntry, Snapshot
@@ -141,6 +139,7 @@ def _old_profile(snapshot: Snapshot, v: Vertex) -> Dict[int, int]:
 
 
 def apply_batch(snapshot: Snapshot, updates: Sequence[UpdateLike],
+                jobs: Optional[int] = None,
                 ) -> Tuple[Snapshot, UpdateReport]:
     """Apply an edge batch to a snapshot, producing the next snapshot.
 
@@ -154,6 +153,13 @@ def apply_batch(snapshot: Snapshot, updates: Sequence[UpdateLike],
       input carried them (they are global per-``k`` sorts, so there is
       no per-vertex patch for them);
     * exactly the cache entries whose thresholds survived invalidation.
+
+    The affected-vertex ego repair runs through
+    :func:`repro.build.repair_forests`: ``jobs=None`` (default) repairs
+    in-process, ``0`` auto-plans, ``>= 2`` fans the affected
+    ego-networks out to a worker pool — a batch touching many hubs is a
+    miniature index build, and shards the same way.  The repaired
+    forests are byte-identical in every mode.
     """
     start = time.perf_counter()
     batch = [_coerce(update) for update in updates]
@@ -180,22 +186,19 @@ def apply_batch(snapshot: Snapshot, updates: Sequence[UpdateLike],
     old_profiles = {v: _old_profile(snapshot, v) for v in affected}
 
     # --- 3. affected-vertex repair: re-decompose only changed egos ----
-    new_forests: Dict[Vertex, List[ForestEdge]] = {}
-    new_profiles: Dict[Vertex, Dict[int, int]] = {}
-    rebuilt = 0
-    for w in affected:
-        if w not in graph:
-            continue  # deleted vertices are simply dropped
-        ego = ego_network(graph, w)
-        weights = truss_decomposition(ego)
-        forest = maximum_spanning_forest(ego.vertices(), weights.items())
-        new_forests[w] = forest  # already weight-descending (Kruskal)
-        new_profiles[w] = profile_from_weights(
-            ((a, b), weight) for a, b, weight in forest)
-        rebuilt += 1
-
+    # (deleted vertices are simply dropped; repair_forests skips them)
+    from repro.build import repair_forests
     order = list(graph.vertices())
     position = {v: i for i, v in enumerate(order)}
+    new_forests: Dict[Vertex, List[ForestEdge]] = repair_forests(
+        graph, sorted(affected, key=repr), jobs=jobs,
+        labels=order, ids=position)
+    new_profiles: Dict[Vertex, Dict[int, int]] = {
+        w: profile_from_weights(((a, b), weight)
+                                for a, b, weight in forest)
+        for w, forest in new_forests.items()
+    }
+    rebuilt = len(new_forests)
 
     new_tsd: Optional[TSDIndex] = None
     old_tsd = snapshot.tsd

@@ -207,6 +207,64 @@ class TestUnknownVertexErrors:
                 call()
 
 
+class TestBoundOrderMemo:
+    """top_r memoises the per-``k`` (bounds, visit order) pair."""
+
+    def test_repeated_queries_identical(self, figure1):
+        index = TSDIndex.build(figure1)
+        first = index.top_r(4, 3)
+        again = index.top_r(4, 3)  # served from the memoised order
+        assert again.vertices == first.vertices
+        assert again.scores == first.scores
+
+    def test_memo_populated_per_k(self, figure1):
+        index = TSDIndex.build(figure1)
+        assert index._bound_cache == {}
+        index.top_r(4, 2)
+        index.top_r(3, 2)
+        assert sorted(index._bound_cache) == [3, 4]
+
+    def test_memo_clamped_beyond_max_weight(self, figure1):
+        # Thresholds past the max forest weight all share one all-zero
+        # entry — a k sweep must not grow the memo without bound.
+        index = TSDIndex.build(figure1)
+        ceiling = index._max_forest_weight() + 1
+        for k in range(ceiling, ceiling + 50):
+            result = index.top_r(k, 2)
+            assert result.scores == [0, 0]
+        assert list(index._bound_cache) == [ceiling]
+
+    def test_replace_forest_invalidates(self, triangle):
+        index = TSDIndex.build(triangle)
+        before = index.top_r(2, 3)
+        assert before.scores[0] == 1
+        # A heavier forest for vertex 0 must change both its score and
+        # its bound ordering — a stale memo would keep the old answer.
+        # (4 weight-5 edges: a real 5-truss context spans >= 5 vertices,
+        # and the Section 5.2 bound assumes forests respect that.)
+        index.replace_forest(0, [(1, 2, 5), (1, 99, 5), (2, 98, 5),
+                                 (98, 97, 5)])
+        assert index._bound_cache == {}
+        after = index.top_r(5, 1)
+        assert after.vertices == [0]
+        assert after.scores == [1]
+
+    def test_drop_vertex_invalidates(self, triangle):
+        index = TSDIndex.build(triangle)
+        full = index.top_r(3, 3)
+        assert len(full.vertices) == 3
+        index.drop_vertex(full.vertices[0])
+        shrunk = index.top_r(3, 3)
+        assert full.vertices[0] not in shrunk.vertices
+
+    def test_new_vertex_enters_zero_fill(self, triangle):
+        index = TSDIndex.build(triangle)
+        index.top_r(3, 3)  # warm the memo and position map
+        index.replace_forest(99, [])
+        ranked = index.top_r(3, 4)
+        assert 99 in ranked.vertices  # zero-fill sees the newcomer
+
+
 class TestMutationHooks:
     def test_replace_forest_new_vertex(self, triangle):
         index = TSDIndex.build(triangle)
