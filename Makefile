@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: test doctest check smoke-service smoke-server smoke-parallel-build examples bench-planner bench-warm bench-server bench-build benchmarks
+.PHONY: test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build examples bench-planner bench-warm bench-server bench-cluster bench-build benchmarks
 
 test:           ## tier-1 verify (ROADMAP)
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -21,6 +21,10 @@ smoke-service:  ## end-to-end service: store build, warm start, live updates
 smoke-server:   ## end-to-end HTTP: start server, query, update, compact, stop
 	PYTHONPATH=src $(PY) examples/http_service.py
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_server.py
+
+smoke-cluster:  ## end-to-end cluster: start 2 workers, query, kill one, recover, stop
+	PYTHONPATH=src $(PY) examples/cluster_service.py
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_cluster.py tests/test_store_concurrency.py tests/test_property_random.py
 
 smoke-parallel-build:  ## jobs=2 builds must byte-match serial builds
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_parallel_build.py
@@ -39,6 +43,9 @@ bench-warm:     ## service warm start vs cold build (fast)
 
 bench-server:   ## serving throughput: direct vs routed vs HTTP (fast)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_server_throughput.py --benchmark-disable
+
+bench-cluster:  ## routed QPS: worker processes (1/2/4) vs single process
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_cluster_throughput.py --benchmark-disable
 
 bench-build:    ## index build: per-vertex vs shared pass vs worker pool
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_parallel_build.py --benchmark-disable

@@ -1,0 +1,164 @@
+"""Cluster throughput: routed QPS through worker processes vs one process.
+
+The cluster exists to break the single-process GIL cap: with W worker
+processes and C spare cores, routed throughput should approach
+``min(W, C)`` times the single-process HTTP number for CPU-bound query
+mixes.  This benchmark measures what *this* container actually
+delivers:
+
+* **single**: ``repro serve`` shape — one process, one
+  :class:`DiversityRouter` behind the stdlib HTTP front;
+* **cluster w=1/2/4**: the same graphs behind a
+  :class:`ShardedCluster` frontend with 1, 2, and 4 worker processes
+  (w=1 isolates the extra proxy hop; w>=2 adds real parallelism).
+
+Several client threads drive each path over keep-alive connections,
+all thresholds pre-warmed (the steady state of a hot fleet).  Numbers
+are **recorded, not asserted** — a 1-CPU CI container has no spare
+cores, so the honest result there is "sharding adds a hop and no
+speedup"; the JSON carries the CPU budget so readers can interpret the
+ratios.  The only hard assertions are correctness: every path returns
+byte-identical answers.
+
+Results land in ``benchmarks/out/BENCH_cluster.json`` (`make
+bench-cluster`).
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.build.plan import available_cpus
+from repro.cluster import ShardedCluster
+from repro.datasets.synthetic import powerlaw_cluster
+from repro.server import DiversityRouter, ServerClient, serve
+
+#: Graphs hosted by every path; traffic round-robins across them.
+FLEET = 6
+
+#: Cache-hot query mix (thresholds pre-warmed before timing).
+QUERIES = [(3, 10), (4, 5), (3, 1), (4, 10)]
+
+#: Concurrent client threads per path (the regime sharding targets).
+CLIENT_THREADS = 4
+
+#: Timed queries per client thread.
+N_PER_THREAD = 60
+
+WORKER_COUNTS = (1, 2, 4)
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_cluster.json"
+
+
+def _graphs():
+    return {f"g{i}": powerlaw_cluster(150, 4, 0.5, seed=31 + i)
+            for i in range(FLEET)}
+
+
+def _drive(base_url, names):
+    """CLIENT_THREADS keep-alive clients hammer the endpoint; returns
+    aggregate QPS over the slowest thread's wall clock."""
+    def worker(thread_id, elapsed_out):
+        client = ServerClient(base_url)
+        try:
+            start = time.perf_counter()
+            for i in range(N_PER_THREAD):
+                name = names[(thread_id + i) % len(names)]
+                k, r = QUERIES[i % len(QUERIES)]
+                client.top_r(name, k=k, r=r)
+            elapsed_out[thread_id] = time.perf_counter() - start
+        finally:
+            client.close()
+
+    elapsed = {}
+    threads = [threading.Thread(target=worker, args=(i, elapsed))
+               for i in range(CLIENT_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return (CLIENT_THREADS * N_PER_THREAD) / max(elapsed.values())
+
+
+def _warm(base_url, names):
+    client = ServerClient(base_url)
+    try:
+        for name in names:
+            for k, r in QUERIES:
+                client.top_r(name, k=k, r=r)
+    finally:
+        client.close()
+
+
+@pytest.mark.benchmark(group="cluster-throughput")
+def test_bench_cluster_throughput(benchmark, report):
+    graphs = _graphs()
+    names = sorted(graphs)
+
+    # -- single process: the repro serve baseline -----------------------
+    router = DiversityRouter()
+    for name, graph in graphs.items():
+        router.add_graph(name, graph)
+    server = serve(router, port=0)
+    single_base = f"http://127.0.0.1:{server.server_port}"
+    _warm(single_base, names)
+    reference = {}
+    probe = ServerClient(single_base)
+    for name in names:
+        wire = probe.top_r(name, k=3, r=10)
+        reference[name] = (json.dumps(wire["vertices"]),
+                           json.dumps(wire["scores"]))
+    qps_single = _drive(single_base, names)
+    probe.close()
+    server.shutdown()
+    server.server_close()
+
+    # -- cluster at increasing worker counts ----------------------------
+    results = {"single": {"qps": round(qps_single, 1)}}
+    rows = [["single process", "-", round(qps_single), "1.00x"]]
+    for workers in WORKER_COUNTS:
+        with ShardedCluster(workers=workers).start(port=0) as cluster:
+            for name, graph in graphs.items():
+                cluster.add_graph(name, graph=graph)
+            _warm(cluster.url, names)
+            # Correctness bar: the cluster changes no answer's bytes.
+            check = ServerClient(cluster.url)
+            for name in names:
+                wire = check.top_r(name, k=3, r=10)
+                assert (json.dumps(wire["vertices"]),
+                        json.dumps(wire["scores"])) == reference[name], name
+            check.close()
+            qps = _drive(cluster.url, names)
+        results[f"cluster_w{workers}"] = {"qps": round(qps, 1)}
+        rows.append([f"cluster, {workers} worker(s)", workers, round(qps),
+                     f"{qps / qps_single:.2f}x"])
+
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps({
+        "bench": "routed HTTP top-r throughput, "
+                 f"{FLEET} graphs, {CLIENT_THREADS} client threads",
+        "cpu_budget": available_cpus(),
+        "note": "speedups need spare cores; on a 1-CPU container the "
+                "honest expectation is ~1x minus the proxy hop",
+        "paths": results,
+    }, indent=2) + "\n", encoding="utf-8")
+
+    report.add("Cluster - process-sharded throughput", format_table(
+        ["path", "workers", "qps", "vs single"],
+        rows,
+        title=f"Cache-hot HTTP top-r throughput "
+              f"({CLIENT_THREADS} threads, {FLEET} graphs, "
+              f"{available_cpus()} CPU(s) available)"))
+
+    # pytest-benchmark hook: time the single-request hot path once more.
+    with ShardedCluster(workers=2).start(port=0) as cluster:
+        for name, graph in graphs.items():
+            cluster.add_graph(name, graph=graph)
+        client = ServerClient(cluster.url)
+        _warm(cluster.url, names)
+        benchmark(lambda: client.top_r("g0", k=3, r=10))
+        client.close()

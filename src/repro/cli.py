@@ -17,7 +17,9 @@ usable without writing Python:
   store (zero index builds), optionally applying live edge updates
 * ``repro serve --http 8080 --graph name=g.txt``
                                        — HTTP JSON API over one or more
-  named graphs (multi-graph routing, live updates, store compaction)
+  named graphs (multi-graph routing, live updates, store compaction);
+  ``--workers N`` shards the graphs across N supervised worker
+  processes behind a consistent-hash router tier
 * ``repro sparsify GRAPH OUT -k 4``    — write the reduced graph
 * ``repro generate NAME OUT``          — write a registry dataset
 * ``repro communities GRAPH VERTEX``   — k-truss community search
@@ -238,20 +240,65 @@ def _cmd_serve_warm(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.server import DiversityRouter, serve
-    store = args.store or None
-    router = DiversityRouter(store=store, build_jobs=_jobs_value(args))
-    if not args.graph:
-        print("error: register at least one graph with --graph NAME=PATH",
-              file=sys.stderr)
-        return 1
-    for spec in args.graph:
+def _parse_graph_specs(specs: List[str]) -> Optional[List[tuple]]:
+    """``NAME=PATH`` pairs, or ``None`` on a malformed spec."""
+    pairs = []
+    for spec in specs:
         name, sep, path = spec.partition("=")
         if not sep or not path:
             print(f"error: bad --graph {spec!r}: expected NAME=PATH",
                   file=sys.stderr)
-            return 1
+            return None
+        pairs.append((name, path))
+    return pairs
+
+
+def _cmd_serve_cluster(args: argparse.Namespace, pairs: List[tuple]) -> int:
+    """``repro serve --workers N``: the process-sharded cluster path."""
+    from repro.cluster import ShardedCluster
+    cluster = ShardedCluster(args.workers, store_root=args.store or None,
+                             build_jobs=_jobs_value(args), host=args.host,
+                             quiet=args.quiet)
+    cluster.start(port=args.http)
+    try:
+        for name, path in pairs:
+            answer = cluster.add_graph(name, path=path)
+            print(f"graph {name!r}: |V|={answer['vertices']:,} "
+                  f"|E|={answer['edges']:,} "
+                  f"({'warm' if answer['warm_started'] else 'cold'} start, "
+                  f"worker {cluster.owner(name)})")
+        base = cluster.url
+        print(f"serving {len(pairs)} graph(s) on {base} "
+              f"across {args.workers} worker process(es)")
+        print(f"  GET  {base}/graphs/<name>/top_r?k=4&r=10")
+        print(f"  GET  {base}/cluster")
+        print(f"  GET  {base}/stats")
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        cluster.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import DiversityRouter, serve
+    store = args.store or None
+    if not args.graph:
+        print("error: register at least one graph with --graph NAME=PATH",
+              file=sys.stderr)
+        return 1
+    pairs = _parse_graph_specs(args.graph)
+    if pairs is None:
+        return 1
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 1
+    if args.workers > 0:
+        return _cmd_serve_cluster(args, pairs)
+    router = DiversityRouter(store=store, build_jobs=_jobs_value(args))
+    for name, path in pairs:
         service = router.add_graph(name, _load_graph(path))
         snapshot = service.snapshot
         print(f"graph {name!r}: |V|={snapshot.num_vertices:,} "
@@ -441,7 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="register a graph under a name; repeatable")
     p.add_argument("--store", default="",
                    help="shared index-store directory: graphs warm-start "
-                        "from it and persist into it (created if missing)")
+                        "from it and persist into it (created if missing); "
+                        "with --workers, each worker keeps its own root "
+                        "under this directory")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="shard graphs across N worker processes behind a "
+                        "consistent-hash router tier (supervised restarts, "
+                        "per-worker stores); 0 keeps the single-process "
+                        "router (default: %(default)s)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
     _add_jobs_flag(p)

@@ -1,0 +1,53 @@
+"""Process-sharded serving: a consistent-hash router tier over workers.
+
+The server layer (:mod:`repro.server`) hosts many graphs in one
+process — one GIL.  This package is the scale-out step the ROADMAP's
+server-layer item names: shard graphs across *processes* behind a
+router tier.
+
+* :mod:`repro.cluster.shardmap` — :class:`ShardMap`, the deterministic
+  consistent-hash assignment of graph names to worker slots (SHA-256
+  ring, explicit pins, resize moves ~1/N of the names);
+* :mod:`repro.cluster.worker` — the worker process: an unmodified
+  :class:`~repro.server.router.DiversityRouter` + HTTP API on its own
+  port and :class:`~repro.service.IndexStore` root, plus the private
+  ``/admin`` registration surface the parent drives;
+* :mod:`repro.cluster.frontend` — :class:`ClusterFrontend`, the public
+  :class:`ThreadingHTTPServer` that proxies ``/graphs/<name>/*`` to
+  the owning worker byte-for-byte (pooled keep-alive connections),
+  fans ``/graphs``, ``/stats``, ``/healthz``, ``POST /compact`` out to
+  the fleet, and answers 503 + ``Retry-After`` while a worker is down;
+* :mod:`repro.cluster.cluster` — :class:`ShardedCluster`, which
+  spawns, registers, supervises (dead workers respawn on their old
+  store root and replay their registrations), and stops the lot.
+
+Exposed on the CLI as ``repro serve --http PORT --workers N``
+(``--workers 0`` or absent keeps the single-process router).  Cluster
+answers uphold the canonical ranking contract end to end: wire answers
+are byte-identical to a single-process router over the same graphs.
+"""
+
+from repro.cluster.shardmap import DEFAULT_REPLICAS, ShardMap
+from repro.cluster.cluster import ShardedCluster
+from repro.cluster.frontend import (
+    ClusterFrontend,
+    ClusterRequestHandler,
+    serve_frontend,
+)
+from repro.cluster.worker import (
+    WorkerHTTPServer,
+    WorkerRequestHandler,
+    run_worker,
+)
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "ClusterFrontend",
+    "ClusterRequestHandler",
+    "ShardMap",
+    "ShardedCluster",
+    "WorkerHTTPServer",
+    "WorkerRequestHandler",
+    "run_worker",
+    "serve_frontend",
+]

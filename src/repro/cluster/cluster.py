@@ -1,0 +1,500 @@
+""":class:`ShardedCluster`: worker processes behind one supervised frontend.
+
+``repro serve`` used to put every graph in one Python process — one
+GIL, so routed throughput capped at roughly one core no matter how
+many graphs were hosted.  The cluster breaks that cap along the natural
+boundary the paper's workload offers: *graphs are independent*, so each
+named graph lives on exactly one worker process (a full
+:class:`~repro.server.router.DiversityRouter` + HTTP stack over its own
+:class:`~repro.service.IndexStore` root) and the
+:class:`~repro.cluster.frontend.ClusterFrontend` relays each request to
+the owner chosen by a deterministic consistent-hash
+:class:`~repro.cluster.shardmap.ShardMap`.
+
+Responsibilities, in order of appearance:
+
+* **Spawn.**  ``start()`` launches the worker fleet (daemonic
+  :mod:`multiprocessing` processes; fork when this process is
+  single-threaded, forkserver otherwise — forking a threaded process
+  can copy held locks) and waits for each worker's ready handshake.
+* **Register.**  ``add_graph`` posts the graph to its owning worker's
+  private ``/admin/graphs`` endpoint and remembers the registration
+  spec — the replay script for that worker's next incarnation.
+* **Supervise.**  A monitor thread respawns dead workers on their old
+  store root (replayed graphs warm-start from persisted artifacts) and
+  replays their registrations.  Until the respawn lands, the frontend
+  answers 503 + ``Retry-After`` for that shard's graphs — and *only*
+  that shard's: a worker death never touches the rest of the fleet.
+* **Answer-preservation.**  Workers run the unmodified single-process
+  API and the frontend relays bodies byte-for-byte, so a cluster
+  answer is exactly the single-process answer for the same graph
+  (asserted end to end by ``tests/test_cluster.py``).
+
+What supervision does **not** restore: updates applied over the wire
+after registration.  A respawned worker re-serves the *registered*
+graph (warm from its store); replaying post-registration update streams
+is the replication/feed item on the roadmap.
+
+Examples
+--------
+>>> from repro.graph.graph import Graph
+>>> with ShardedCluster(workers=2).start(port=0) as cluster:
+...     _ = cluster.add_graph("tri", graph=Graph(edges=[(0, 1), (1, 2),
+...                                                     (0, 2)]))
+...     from repro.server.client import ServerClient
+...     client = ServerClient(cluster.url)
+...     client.top_r("tri", k=3, r=1)["vertices"]
+[0]
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ClusterError, InvalidParameterError, ServerError
+from repro.graph.graph import Graph
+from repro.graph.io import graph_to_payload
+from repro.server.client import ServerClient
+from repro.server.router import _NAME_PATTERN
+from repro.cluster.frontend import ClusterFrontend, serve_frontend
+from repro.cluster.shardmap import DEFAULT_REPLICAS, ShardMap
+from repro.cluster.worker import run_worker
+
+
+def _spawn_context():
+    """Fork where it is safe, forkserver where it is not (same
+    reasoning as :func:`repro.build.parallel._pool_context`).
+
+    Re-evaluated at every spawn, not cached: the *initial* fleet is
+    usually spawned from a single-threaded process (fork is cheap and
+    safe), but supervised *respawns* run on the supervisor thread with
+    the frontend's handler threads live — forking there could copy a
+    lock in a held state into the child, so those take forkserver.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context()
+
+
+class _WorkerHandle:
+    """One worker slot's live state (process, port, pooled client)."""
+
+    def __init__(self, slot: int, process, port: int,
+                 client: ServerClient) -> None:
+        self.slot = slot
+        self.process = process
+        self.port = port
+        self.client = client
+        #: Set by the frontend when a request to this worker failed at
+        #: the connection level; the supervisor probes (and respawns if
+        #: the probe fails) instead of waiting for ``is_alive`` to flip.
+        self.suspect = False
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ShardedCluster:
+    """N worker processes + consistent-hash router tier + supervisor.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1).
+    store_root:
+        Directory under which each worker gets its own IndexStore root
+        (``<root>/worker<slot>``).  Defaults to a cluster-owned
+        temporary directory removed on :meth:`stop`; pass a real path
+        to keep artifacts across cluster restarts.
+    build_jobs:
+        Forwarded to every worker's router (the PR-4 ``BuildPlan``
+        knob).  Workers are daemonic, where pool dispatch degrades to
+        the byte-identical in-process build.
+    pins:
+        Explicit ``{name: slot}`` shard overrides.
+    supervise:
+        Run the restart loop (disable in tests that stage worker death
+        by hand and call :meth:`restart_dead_workers` themselves).
+    restart_interval:
+        Seconds between supervisor checks; also sizes the 503
+        ``Retry-After`` hint.
+    """
+
+    def __init__(self, workers: int, *,
+                 store_root=None,
+                 build_jobs: Optional[int] = 0,
+                 pins: Optional[Dict[str, int]] = None,
+                 replicas: int = DEFAULT_REPLICAS,
+                 host: str = "127.0.0.1",
+                 supervise: bool = True,
+                 restart_interval: float = 0.5,
+                 spawn_timeout: float = 30.0,
+                 quiet: bool = True) -> None:
+        if workers < 1:
+            raise ClusterError(f"a cluster needs >= 1 worker, got {workers}")
+        self.shard_map = ShardMap(workers, replicas=replicas, pins=pins)
+        self.build_jobs = build_jobs
+        self.host = host
+        self.supervise = supervise
+        self.restart_interval = restart_interval
+        self.spawn_timeout = spawn_timeout
+        self.quiet = quiet
+        if store_root is None:
+            self._store_root = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+            self._owns_store_root = True
+        else:
+            self._store_root = Path(store_root)
+            self._owns_store_root = False
+        self._handles: List[Optional[_WorkerHandle]] = [None] * workers
+        self._registrations: Dict[str, Dict[str, object]] = {}
+        # _lock guards only quick handle/registration reads and writes
+        # (it sits on the frontend's per-request path via client_for);
+        # _respawn_lock serialises whole respawn passes, whose probe /
+        # spawn / replay steps block for seconds and must never stall
+        # routed requests to healthy workers.
+        self._lock = threading.RLock()
+        self._respawn_lock = threading.Lock()
+        #: Last respawn failure (visible to operators via repr/debug);
+        #: cleared by the next successful pass.
+        self.last_respawn_error: Optional[str] = None
+        self._frontend: Optional[ClusterFrontend] = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._wake_event = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, port: int = 0) -> "ShardedCluster":
+        """Spawn the fleet, bind the frontend, start supervising."""
+        if self._started:
+            raise ClusterError("this cluster is already started")
+        for slot in range(self.num_workers):
+            self._handles[slot] = self._spawn(slot)
+        self._frontend = serve_frontend(self, port, host=self.host,
+                                        quiet=self.quiet)
+        self._started = True
+        if self.supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="repro-cluster-supervisor",
+                daemon=True)
+            self._supervisor.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the frontend, supervisor, and every worker down."""
+        self._stop_event.set()
+        self._wake_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10)
+            self._supervisor = None
+        if self._frontend is not None:
+            self._frontend.shutdown()
+            self._frontend.server_close()
+            self._frontend = None
+        # _respawn_lock: an in-flight supervisor pass (the join above
+        # can time out while _spawn blocks) must finish — and see the
+        # stop flag instead of publishing a fresh worker — before the
+        # handles are snapshotted and the store root removed.
+        with self._respawn_lock, self._lock:
+            handles, self._handles = (list(self._handles),
+                                      [None] * self.num_workers)
+        for handle in handles:
+            if handle is None:
+                continue
+            handle.client.close()
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+                if handle.process.is_alive():  # pragma: no cover
+                    handle.process.kill()
+                    handle.process.join(timeout=5)
+        if self._owns_store_root:
+            shutil.rmtree(self._store_root, ignore_errors=True)
+        self._started = False
+
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Spawning and supervision
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: int) -> _WorkerHandle:
+        ctx = _spawn_context()
+        parent, child = ctx.Pipe(duplex=False)
+        store_root = self._store_root / f"worker{slot}"
+        process = ctx.Process(
+            target=run_worker,
+            args=(slot, self.host, 0, str(store_root), self.build_jobs,
+                  child, self.quiet),
+            name=f"repro-worker-{slot}", daemon=True)
+        process.start()
+        child.close()
+        try:
+            try:
+                if not parent.poll(self.spawn_timeout):
+                    raise ClusterError(
+                        f"worker {slot} did not come up within "
+                        f"{self.spawn_timeout}s")
+                kind, value = parent.recv()
+            except EOFError:
+                raise ClusterError(
+                    f"worker {slot} died before reporting ready") from None
+            finally:
+                parent.close()
+            if kind != "ready":
+                raise ClusterError(
+                    f"worker {slot} failed to start: {value}")
+        except ClusterError:
+            # Never leak the process: a slow-but-alive worker left
+            # behind here would hold the slot's store root and a port
+            # with no handle pointing at it (even stop() couldn't
+            # reach it), and the next retry would double-occupy both.
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover
+                    process.kill()
+            raise
+        client = ServerClient(f"http://{self.host}:{value}")
+        return _WorkerHandle(slot, process, value, client)
+
+    def _supervise(self) -> None:  # pragma: no cover - timing-dependent
+        while not self._stop_event.is_set():
+            self._wake_event.wait(self.restart_interval)
+            self._wake_event.clear()
+            if self._stop_event.is_set():
+                return
+            try:
+                self.restart_dead_workers()
+            except Exception as exc:
+                # The supervisor must outlive any single bad pass — a
+                # dead supervisor means permanent 503s for every later
+                # worker death.  Record and retry next tick.
+                self.last_respawn_error = f"{type(exc).__name__}: {exc}"
+
+    def restart_dead_workers(self) -> List[int]:
+        """One supervisor pass: respawn every dead worker and replay
+        its graph registrations.  Returns the restarted slots.
+
+        The blocking steps (health probe, process spawn, registration
+        replay) run *outside* the handle lock, so routed requests to
+        healthy workers never stall behind a recovery; a slot whose
+        respawn or replay fails is left empty (503s) for the next pass
+        to retry, and never published half-registered.
+        """
+        restarted: List[int] = []
+        errors: List[str] = []
+        with self._respawn_lock:
+            for slot in range(self.num_workers):
+                if self._stop_event.is_set():
+                    break  # stop() is tearing the fleet down
+                with self._lock:
+                    handle = self._handles[slot]
+                if handle is not None and handle.alive \
+                        and not handle.suspect:
+                    continue
+                if handle is not None and handle.alive and handle.suspect:
+                    try:  # probe before declaring a live process dead
+                        handle.client.healthz()
+                        handle.suspect = False
+                        continue
+                    except ServerError:
+                        handle.process.terminate()
+                        handle.process.join(timeout=5)
+                if handle is not None:
+                    handle.client.close()
+                    with self._lock:
+                        self._handles[slot] = None
+                try:
+                    replacement = self._spawn(slot)
+                except ClusterError as exc:
+                    errors.append(f"worker {slot}: {exc}")
+                    continue
+                try:
+                    if self._stop_event.is_set():
+                        raise ClusterError("cluster stopping")
+                    self._replay_registrations(replacement)
+                except (ServerError, ClusterError) as exc:
+                    # Died again mid-replay: discard the half-registered
+                    # incarnation; this slot stays down until next pass.
+                    errors.append(f"worker {slot} replay: {exc}")
+                    replacement.client.close()
+                    if replacement.process.is_alive():
+                        replacement.process.terminate()
+                        replacement.process.join(timeout=5)
+                    continue
+                with self._lock:
+                    self._handles[slot] = replacement
+                restarted.append(slot)
+        self.last_respawn_error = "; ".join(errors) or None
+        return restarted
+
+    def _replay_registrations(self, handle: _WorkerHandle) -> None:
+        with self._lock:
+            owned = [(name, spec)
+                     for name, spec in self._registrations.items()
+                     if self.shard_map.owner(name) == handle.slot]
+        for name, spec in owned:
+            handle.client._request("POST", "/admin/graphs", body=spec)
+
+    def note_worker_failure(self, slot: int) -> None:
+        """Frontend hook: a request to this worker failed at the
+        connection level.  Mark it suspect and wake the supervisor."""
+        with self._lock:
+            handle = self._handles[slot]
+            if handle is not None:
+                handle.suspect = True
+        self._wake_event.set()
+
+    def kill_worker(self, slot: int) -> int:
+        """SIGKILL one worker (chaos hook for tests and the smoke
+        script); returns the killed pid."""
+        with self._lock:
+            handle = self._handles[slot]
+            if handle is None or not handle.alive:
+                raise ClusterError(f"worker {slot} is not running")
+            pid = handle.process.pid
+            handle.process.kill()
+            handle.process.join(timeout=10)
+        return pid
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_graph(self, name: str, graph: Optional[Graph] = None,
+                  path=None) -> Dict[str, object]:
+        """Register a graph on its owning worker.
+
+        Exactly one of ``graph`` (shipped inline as a ``repro-graph``
+        payload) or ``path`` (a file the worker process reads itself —
+        cheaper for large graphs) is required.  Returns the worker's
+        registration answer (the graph's stats payload).
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before adding graphs")
+        if not _NAME_PATTERN.match(name or ""):
+            raise InvalidParameterError(
+                f"bad graph name {name!r}: use letters, digits, '.', '_' "
+                "or '-' (it becomes a URL path segment)")
+        if name in self._registrations:
+            raise InvalidParameterError(
+                f"a graph named {name!r} is already registered")
+        if (graph is None) == (path is None):
+            raise InvalidParameterError(
+                "pass exactly one of graph= or path=")
+        spec: Dict[str, object] = {"name": name}
+        if path is not None:
+            spec["path"] = str(path)
+        else:
+            spec["graph"] = graph_to_payload(graph)
+        slot = self.shard_map.owner(name)
+        client = self.client_for(slot)
+        if client is None:
+            raise ClusterError(
+                f"worker {slot} (owner of {name!r}) is down; wait for "
+                "the supervisor or call restart_dead_workers()")
+        answer = client._request("POST", "/admin/graphs", body=spec)
+        with self._lock:
+            self._registrations[name] = spec
+        return answer
+
+    def graphs(self) -> List[str]:
+        """Registered graph names, sorted."""
+        with self._lock:
+            return sorted(self._registrations)
+
+    # ------------------------------------------------------------------
+    # Frontend interface
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self.shard_map.workers
+
+    def owner(self, name: str) -> int:
+        """The worker slot serving ``name``."""
+        return self.shard_map.owner(name)
+
+    def client_for(self, slot: int) -> Optional[ServerClient]:
+        """The pooled client for one worker, or ``None`` when down."""
+        with self._lock:
+            handle = self._handles[slot]
+            if handle is None or not handle.alive:
+                return None
+            return handle.client
+
+    def live_clients(self) -> List[Tuple[int, Optional[ServerClient]]]:
+        """``(slot, client-or-None)`` for every worker slot."""
+        return [(slot, self.client_for(slot))
+                for slot in range(self.num_workers)]
+
+    def worker_port(self, slot: int) -> Optional[int]:
+        """The port a worker currently listens on (``None`` when down)."""
+        with self._lock:
+            handle = self._handles[slot]
+            return handle.port if handle is not None else None
+
+    @property
+    def retry_after_seconds(self) -> int:
+        """The 503 ``Retry-After`` hint: one supervisor interval up."""
+        return max(1, math.ceil(self.restart_interval))
+
+    @property
+    def frontend_port(self) -> int:
+        if self._frontend is None:
+            raise ClusterError("the cluster frontend is not running")
+        return self._frontend.server_port
+
+    @property
+    def url(self) -> str:
+        """The frontend's base URL."""
+        return f"http://{self.host}:{self.frontend_port}"
+
+    @property
+    def store_root(self) -> Path:
+        """Directory holding the per-worker IndexStore roots."""
+        return self._store_root
+
+    def topology_payload(self) -> Dict[str, object]:
+        """The ``GET /cluster`` body: who serves what, from where."""
+        with self._lock:
+            placement: Dict[int, List[str]] = {
+                slot: [] for slot in range(self.num_workers)}
+            for name in sorted(self._registrations):
+                placement[self.shard_map.owner(name)].append(name)
+            workers = []
+            for slot in range(self.num_workers):
+                handle = self._handles[slot]
+                workers.append({
+                    "slot": slot,
+                    "alive": handle is not None and handle.alive,
+                    "port": handle.port if handle is not None else None,
+                    "pid": handle.process.pid
+                    if handle is not None else None,
+                    "graphs": placement[slot],
+                })
+            return {
+                "workers": workers,
+                "pins": self.shard_map.pins,
+                "supervised": self.supervise,
+                "restart_interval": self.restart_interval,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "started" if self._started else "stopped"
+        return (f"ShardedCluster(workers={self.num_workers}, {state}, "
+                f"graphs={len(self._registrations)})")

@@ -1,0 +1,161 @@
+""":class:`ShardMap`: a consistent-hash assignment of graph names to workers.
+
+The cluster places each named graph on exactly one worker process, and
+three properties make that placement operable at fleet scale:
+
+* **Determinism.**  The map is a pure function of ``(name, workers,
+  replicas, pins)`` built on SHA-256 — no process-local ``hash()``
+  randomisation — so every frontend, supervisor, and operator shell
+  that constructs a map with the same parameters routes identically,
+  across processes and across restarts.
+* **Stability under resize.**  Workers sit on a hash ring via
+  ``replicas`` virtual points each; a name maps to the first point
+  clockwise from its own hash.  Adding or removing one worker moves
+  only the names whose arc changed — expected ``1/workers`` of them —
+  instead of reshuffling the world (a modulo map would move almost
+  everything, stampeding every store with cold rebuilds).
+* **Pins.**  An explicit ``pin(name, worker)`` overrides the ring for
+  one name — the escape hatch for a graph that outgrows its neighbours
+  and needs a dedicated worker.  Pins survive resizes verbatim.
+
+Examples
+--------
+>>> shard_map = ShardMap(workers=4)
+>>> shard_map.owner("social-us") == shard_map.owner("social-us")
+True
+>>> 0 <= shard_map.owner("social-us") < 4
+True
+>>> shard_map.pin("whale", 3)
+>>> shard_map.owner("whale")
+3
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+#: Virtual points per worker on the ring.  More points smooth the load
+#: split (relative imbalance shrinks like 1/sqrt(replicas * workers))
+#: at the cost of ring size; 64 keeps a 16-worker ring under 1k points.
+DEFAULT_REPLICAS = 64
+
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit position on the ring (prefix of SHA-256)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardMap:
+    """Consistent-hash map of graph names onto ``workers`` slots.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker slots (>= 1).  Slots are identities: slot 2
+        means "the third worker", whatever process currently fills it.
+    replicas:
+        Virtual ring points per worker.
+    pins:
+        Initial explicit overrides, ``{name: slot}``.
+    """
+
+    def __init__(self, workers: int, replicas: int = DEFAULT_REPLICAS,
+                 pins: Optional[Dict[str, int]] = None) -> None:
+        if workers < 1:
+            raise InvalidParameterError(
+                f"a shard map needs >= 1 worker, got {workers}")
+        if replicas < 1:
+            raise InvalidParameterError(
+                f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._pins: Dict[str, int] = {}
+        self._build_ring(workers)
+        for name, slot in (pins or {}).items():
+            self.pin(name, slot)
+
+    def _build_ring(self, workers: int) -> None:
+        self._workers = workers
+        points: List[Tuple[int, int]] = []
+        for slot in range(workers):
+            for replica in range(self._replicas):
+                points.append((_ring_hash(f"worker-{slot}#{replica}"), slot))
+        points.sort()
+        self._ring_keys = [key for key, _ in points]
+        self._ring_slots = [slot for _, slot in points]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of worker slots this map distributes over."""
+        return self._workers
+
+    @property
+    def pins(self) -> Dict[str, int]:
+        """The explicit overrides, ``{name: slot}`` (a copy)."""
+        return dict(self._pins)
+
+    def owner(self, name: str) -> int:
+        """The worker slot serving ``name`` (pin first, then the ring)."""
+        pinned = self._pins.get(name)
+        if pinned is not None:
+            return pinned
+        index = bisect_right(self._ring_keys, _ring_hash(name))
+        if index == len(self._ring_keys):
+            index = 0  # wrap past the top of the ring
+        return self._ring_slots[index]
+
+    def assignments(self, names: Iterable[str]) -> Dict[str, int]:
+        """``{name: owner}`` for a batch of names."""
+        return {name: self.owner(name) for name in names}
+
+    # ------------------------------------------------------------------
+    # Pins
+    # ------------------------------------------------------------------
+    def pin(self, name: str, slot: int) -> None:
+        """Force ``name`` onto ``slot``, overriding the ring."""
+        if not 0 <= slot < self._workers:
+            raise InvalidParameterError(
+                f"cannot pin {name!r} to worker {slot}: have "
+                f"{self._workers} worker(s)")
+        self._pins[name] = slot
+
+    def unpin(self, name: str) -> None:
+        """Drop an override; ``name`` falls back to its ring owner."""
+        self._pins.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Resize
+    # ------------------------------------------------------------------
+    def resize(self, workers: int,
+               names: Iterable[str] = ()) -> Dict[str, Tuple[int, int]]:
+        """Re-ring over ``workers`` slots; report who moved.
+
+        Returns ``{name: (old_slot, new_slot)}`` for the given ``names``
+        whose owner changed — by consistency, an expected
+        ``|old - new| / max(old, new)`` fraction of them.  Pins to slots
+        that no longer exist are dropped (with their names reported as
+        moved to their new ring owner).
+        """
+        if workers < 1:
+            raise InvalidParameterError(
+                f"a shard map needs >= 1 worker, got {workers}")
+        names = list(names)
+        before = self.assignments(names)
+        for name, slot in list(self._pins.items()):
+            if slot >= workers:
+                del self._pins[name]
+        self._build_ring(workers)
+        after = self.assignments(names)
+        return {name: (before[name], after[name]) for name in names
+                if before[name] != after[name]}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardMap(workers={self._workers}, "
+                f"replicas={self._replicas}, pins={self._pins})")

@@ -62,3 +62,8 @@ class ServerError(ReproError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+class ClusterError(ReproError):
+    """A :class:`~repro.cluster.ShardedCluster` operation failed
+    (bad worker count, a worker that never came up, use before start)."""

@@ -95,30 +95,32 @@ def write_edge_list(graph: Graph, path: PathLike,
 _JSON_FORMAT_VERSION = 1
 
 
-def write_json_graph(graph: Graph, path: PathLike) -> None:
-    """Persist a graph with arbitrary (JSON-encodable) vertex labels.
+def graph_to_payload(graph: Graph) -> dict:
+    """JSON-able dict of a graph (the ``repro-graph`` wire format).
 
     Vertices are stored once in insertion order, edges as index pairs, so
-    canonical edge tuples survive a round trip.
+    canonical edge tuples — and with them the canonical ranking
+    contract's tie order — survive a round trip.  Also the body of the
+    cluster's worker registration endpoint.
     """
     vertices = list(graph.vertices())
     position = {v: i for i, v in enumerate(vertices)}
-    payload = {
+    return {
         "format": "repro-graph",
         "version": _JSON_FORMAT_VERSION,
         "vertices": vertices,
         "edges": [[position[u], position[v]] for u, v in graph.edges()],
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
 
-def read_json_graph(path: PathLike) -> Graph:
-    """Inverse of :func:`write_json_graph`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+def graph_from_payload(payload: dict,
+                       source: str = "<payload>") -> Graph:
+    """Inverse of :func:`graph_to_payload`."""
     if payload.get("format") != "repro-graph":
-        raise ReproError(f"{path}: not a repro-graph JSON file")
+        raise ReproError(f"{source}: not a repro-graph JSON payload")
     if payload.get("version") != _JSON_FORMAT_VERSION:
-        raise ReproError(f"{path}: unsupported version {payload.get('version')!r}")
+        raise ReproError(
+            f"{source}: unsupported version {payload.get('version')!r}")
     raw_vertices = payload["vertices"]
     # JSON turns tuples into lists; labels must be hashable after a trip.
     vertices = [tuple(v) if isinstance(v, list) else v for v in raw_vertices]
@@ -126,6 +128,18 @@ def read_json_graph(path: PathLike) -> Graph:
     for iu, iv in payload["edges"]:
         graph.add_edge(vertices[iu], vertices[iv])
     return graph
+
+
+def write_json_graph(graph: Graph, path: PathLike) -> None:
+    """Persist a graph with arbitrary (JSON-encodable) vertex labels."""
+    Path(path).write_text(json.dumps(graph_to_payload(graph)),
+                          encoding="utf-8")
+
+
+def read_json_graph(path: PathLike) -> Graph:
+    """Inverse of :func:`write_json_graph`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return graph_from_payload(payload, source=str(path))
 
 
 def edges_from_pairs(pairs: Iterable[Tuple[Vertex, Vertex]]) -> Graph:

@@ -1,10 +1,19 @@
 """:class:`ServerClient`: a thin stdlib client for the HTTP front.
 
-Tests, examples, and operators talk to a running
-:class:`~repro.server.http.DiversityHTTPServer` through this wrapper —
-:mod:`urllib.request` underneath, JSON in and out, HTTP error statuses
+Tests, examples, operators — and the cluster frontend's proxy hot path
+— talk to a running :class:`~repro.server.http.DiversityHTTPServer`
+through this wrapper.  The transport is a small pool of *persistent*
+:class:`http.client.HTTPConnection` objects: the server speaks
+HTTP/1.1 with Content-Length on every response, so one socket carries
+many requests (urllib, the previous transport, opened a fresh
+connection per request — fatal for a proxy that fronts every routed
+query with one upstream hop).  JSON in and out, HTTP error statuses
 re-raised as :class:`~repro.errors.ServerError` with the server's
 message attached.
+
+Concurrency: the pool hands each in-flight request its own connection
+(created on demand when the pool is empty), so one client instance may
+be shared across threads; sockets are only reused, never shared.
 
 Examples
 --------
@@ -17,25 +26,39 @@ Examples
 >>> client = ServerClient(f"http://127.0.0.1:{server.server_port}")
 >>> client.healthz()["status"]
 'ok'
+>>> client.top_r("g", k=3, r=1)["vertices"]  # same socket, second request
+[0]
+>>> client.connections_opened
+1
+>>> client.close()
 >>> server.shutdown()
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
-from urllib.parse import urlencode
+from urllib.parse import urlencode, urlsplit
 
 from repro.errors import ServerError
 
 #: An update over the wire: ``(op, u, v)`` with op insert/delete.
 WireUpdate = Tuple[str, object, object]
 
+#: Connection failures that mean "the socket went stale under us" when
+#: they surface on a *reused* connection: the server may close an idle
+#: keep-alive socket at any time, so one retry on a fresh connection is
+#: the standard (and safe — nothing was processed) recovery.
+_STALE_ERRORS = (http.client.BadStatusLine, http.client.CannotSendRequest,
+                 http.client.ResponseNotReady, ConnectionResetError,
+                 ConnectionAbortedError, BrokenPipeError)
+
 
 class ServerClient:
-    """JSON-over-HTTP client for a diversity server.
+    """JSON-over-HTTP client for a diversity server, with keep-alive.
 
     Parameters
     ----------
@@ -47,41 +70,127 @@ class ServerClient:
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self._base = base_url.rstrip("/")
+        parts = urlsplit(self._base)
+        if parts.scheme not in ("http", ""):
+            raise ServerError(0, f"unsupported scheme in {base_url!r}: "
+                                 "only http:// servers exist here")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        # A path in base_url (server behind a prefixed reverse proxy)
+        # must survive the transport: requests go to <prefix><path>.
+        self._prefix = parts.path.rstrip("/")
         self._timeout = timeout
+        self._pool: List[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+        #: Sockets this client has opened over its lifetime.  With
+        #: keep-alive working, a single-threaded caller stays at 1 no
+        #: matter how many requests it issues (plus one per stale-socket
+        #: recovery) — the regression tests assert exactly that.
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _acquire(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """A pooled connection and whether it has served before."""
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop(), True
+            self.connections_opened += 1
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout), False
+
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            self._pool.append(connection)
+
+    def close(self) -> None:
+        """Close every pooled socket (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            connection.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def request_raw(self, method: str, path: str,
+                    body: Optional[bytes] = None,
+                    headers: Optional[Dict[str, str]] = None,
+                    ) -> Tuple[int, bytes]:
+        """One round trip, bytes in and bytes out — no JSON, no raising.
+
+        Returns ``(status, body)`` whatever the status; connection
+        errors raise :class:`~repro.errors.ServerError` with status 0.
+        The cluster frontend proxies through this, so a routed answer's
+        body is the owning worker's body byte-for-byte.
+
+        The stale-socket retry only re-sends when it is safe: a failure
+        while *sending* on a reused connection (the server closed the
+        idle socket; the request never fully left), or any failure of a
+        ``GET``.  A ``POST`` that failed after transmission is NOT
+        retried — the server may be mid-way through applying it, and a
+        re-send could apply an update batch twice.
+        """
+        path = self._prefix + path
+        for attempt in (0, 1):
+            connection, reused = self._acquire()
+            phase = "send"
+            try:
+                connection.request(method, path, body=body,
+                                   headers=headers or {})
+                phase = "read"
+                response = connection.getresponse()
+                payload = response.read()
+            except _STALE_ERRORS + (socket.timeout, OSError) as exc:
+                connection.close()
+                retry_safe = phase == "send" or method in ("GET", "HEAD")
+                timed_out = isinstance(exc, socket.timeout)
+                if attempt == 0 and reused and retry_safe \
+                        and not timed_out:
+                    continue  # retry once on a fresh socket
+                raise ServerError(
+                    0, f"cannot reach {self._base}: {exc}") from exc
+            if response.will_close:
+                connection.close()
+            else:
+                self._release(connection)
+            return response.status, payload
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _request(self, method: str, path: str,
                  params: Optional[Dict[str, object]] = None,
                  body: Optional[object] = None) -> Dict:
-        url = self._base + path
         if params:
-            url += "?" + urlencode(params)
+            path += "?" + urlencode(params)
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers,
-                                         method=method)
+        status, payload = self.request_raw(method, path, body=data,
+                                           headers=headers)
+        if status >= 400:
+            raise ServerError(status, self._error_message(payload, status))
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self._timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raise ServerError(exc.code, self._error_message(exc)) from exc
-        except urllib.error.URLError as exc:
-            raise ServerError(0, f"cannot reach {self._base}: "
-                                 f"{exc.reason}") from exc
+            return json.loads(payload.decode("utf-8"))
+        except ValueError as exc:
+            raise ServerError(status, f"non-JSON response body: {exc}") \
+                from exc
 
     @staticmethod
-    def _error_message(exc: urllib.error.HTTPError) -> str:
+    def _error_message(payload: bytes, status: int) -> str:
         try:
-            payload = json.loads(exc.read().decode("utf-8"))
-            return payload.get("error", exc.reason)
+            return json.loads(payload.decode("utf-8")).get(
+                "error", f"status {status}")
         except Exception:  # non-JSON error body
-            return str(exc.reason)
+            return payload.decode("utf-8", "replace") or f"status {status}"
 
     # ------------------------------------------------------------------
     # API surface (one method per endpoint)

@@ -99,7 +99,13 @@ def result_payload(result: SearchResult,
 
 
 def _coerce_updates(body: object) -> List[Tuple[str, object, object]]:
-    """Accept ``{"updates": [...]}`` or a bare list of ``[op, u, v]``."""
+    """Accept ``{"updates": [...]}`` or a bare list of ``[op, u, v]``.
+
+    List-shaped endpoints become tuples — JSON has no tuple, so a
+    tuple-labelled vertex arrives as a list, exactly as in
+    :func:`repro.graph.io.graph_from_payload` (and a genuine list label
+    cannot exist: labels must be hashable).
+    """
     if isinstance(body, dict):
         body = body.get("updates")
     if not isinstance(body, list):
@@ -111,7 +117,9 @@ def _coerce_updates(body: object) -> List[Tuple[str, object, object]]:
             raise InvalidParameterError(
                 f"bad update item {item!r}: expected [op, u, v]")
         op, u, v = item
-        updates.append((op, u, v))
+        updates.append((op,
+                        tuple(u) if isinstance(u, list) else u,
+                        tuple(v) if isinstance(v, list) else v))
     return updates
 
 
@@ -120,6 +128,11 @@ class DiversityRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # Keep-alive exposes the Nagle + delayed-ACK stall: a response is
+    # two small writes (header buffer, body), and with the connection
+    # staying open nothing forces the second packet out — each request
+    # pays a ~40ms ACK timeout.  TCP_NODELAY removes it.
+    disable_nagle_algorithm = True
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -300,8 +313,10 @@ class DiversityHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int], router: DiversityRouter,
-                 quiet: bool = True) -> None:
-        super().__init__(address, DiversityRequestHandler)
+                 quiet: bool = True, handler_class=None) -> None:
+        # handler_class lets the cluster's worker processes bolt their
+        # private /admin routes onto this same server without forking it.
+        super().__init__(address, handler_class or DiversityRequestHandler)
         self.router = router
         self.quiet = quiet
 

@@ -1,0 +1,181 @@
+"""Seeded random-graph differential harness: every surface, one answer.
+
+The canonical ranking contract says all five search methods return the
+*identical* ranked vertex list.  The targeted tests pin that on
+hand-built graphs; this harness pins it on a randomized family — ~30
+seeded Erdős–Rényi / planted-clique / star-heavy graphs — across every
+serving surface the system has grown:
+
+* the five methods + ``auto`` through :class:`QueryEngine`,
+* the immutable :class:`Snapshot` the service layer serves from,
+* the process-sharded cluster **over the wire** (worker processes
+  behind the consistent-hash frontend).
+
+Sweeps include the adversarial corners: ``r > n`` (zero-fill past the
+scored vertices), ``k`` above the maximum trussness (all-zero
+rankings, ties broken purely by insertion order), and graphs with no
+edges at all.  Everything is seeded — a failure reproduces exactly.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.core.online import online_search
+from repro.datasets.synthetic import add_planted_cliques, erdos_renyi
+from repro.engine import QueryEngine
+from repro.service.snapshot import Snapshot
+from repro.cluster import ShardedCluster
+from repro.server import ServerClient
+
+#: Trussness thresholds swept per graph; 40 exceeds every graph's
+#: maximum trussness in this family (the biggest planted clique is 7).
+K_SWEEP = (2, 3, 4, 5, 40)
+
+
+def _star_heavy(num_hubs: int, leaves_per_hub: int, seed: int) -> Graph:
+    """A few high-degree hubs, mostly degree-1 leaves, a thin layer of
+    triangles — the degenerate-ego regime (scores 0/1 everywhere, huge
+    zero-fill tails) that stresses tie-breaking, not trussness."""
+    rng = random.Random(seed)
+    g = Graph()
+    for h in range(num_hubs):
+        hub = f"hub{h}"
+        leaves = [f"h{h}_l{i}" for i in range(leaves_per_hub)]
+        for leaf in leaves:
+            g.add_edge(hub, leaf)
+        # Close a few triangles so some contexts are non-trivial.
+        for _ in range(max(1, leaves_per_hub // 4)):
+            a, b = rng.sample(leaves, 2)
+            g.add_edge(a, b)
+    for h in range(num_hubs - 1):
+        g.add_edge(f"hub{h}", f"hub{h + 1}")
+    return g
+
+
+def _graph_family():
+    """The ~30 seeded graphs under differential test."""
+    graphs = []
+    for i, (n, p) in enumerate([(8, 0.2), (12, 0.3), (16, 0.25),
+                                (16, 0.5), (20, 0.2), (20, 0.4),
+                                (24, 0.15), (24, 0.3), (28, 0.2),
+                                (28, 0.35), (14, 0.6), (10, 0.8)]):
+        graphs.append((f"er{i}", erdos_renyi(n, p, seed=100 + i)))
+    for i, (n, p, sizes) in enumerate([(14, 0.1, [5]), (18, 0.12, [6, 4]),
+                                       (20, 0.1, [7]), (22, 0.15, [5, 5]),
+                                       (24, 0.08, [6]), (16, 0.2, [4, 4]),
+                                       (26, 0.1, [7, 3]), (20, 0.05, [5])]):
+        base = erdos_renyi(n, p, seed=200 + i)
+        graphs.append((f"pc{i}", add_planted_cliques(base, sizes,
+                                                     seed=300 + i)))
+    for i, (hubs, leaves) in enumerate([(2, 10), (3, 8), (1, 20), (4, 6),
+                                        (2, 15), (3, 12), (5, 5), (1, 12)]):
+        graphs.append((f"star{i}", _star_heavy(hubs, leaves, seed=400 + i)))
+    graphs.append(("noedges", Graph(vertices=range(7))))
+    graphs.append(("void", Graph()))
+    return graphs
+
+
+FAMILY = _graph_family()
+
+
+def _sweep(graph: Graph):
+    """(k, r) pairs for one graph, r > n included."""
+    n = graph.num_vertices
+    return [(k, r) for k in K_SWEEP for r in (1, 3, n + 7)]
+
+
+def _canonical(result):
+    return list(zip(result.vertices, result.scores))
+
+
+def _reference(graph: Graph):
+    """The baseline's answers, the differential oracle for one graph."""
+    return {(k, r): _canonical(online_search(graph, k, r))
+            for k, r in _sweep(graph)}
+
+
+@pytest.fixture(scope="module", params=[name for name, _ in FAMILY])
+def case(request):
+    graph = dict(FAMILY)[request.param]
+    return request.param, graph, _reference(graph)
+
+
+@pytest.fixture(scope="module")
+def family_cluster():
+    """One 2-worker cluster hosting the whole family (spawning a fleet
+    per graph would swamp the suite; placement still spans workers)."""
+    with ShardedCluster(workers=2, supervise=False).start(port=0) as cluster:
+        for name, graph in FAMILY:
+            cluster.add_graph(name, graph=graph)
+        client = ServerClient(cluster.url)
+        placements = {cluster.owner(name) for name, _ in FAMILY}
+        assert placements == {0, 1}, \
+            "family should span both workers for a meaningful test"
+        yield client
+        client.close()
+
+
+class TestDifferentialRankings:
+    def test_five_methods_and_auto_agree(self, case):
+        name, graph, reference = case
+        engine = QueryEngine(graph)
+        for k, r in _sweep(graph):
+            for method in ("baseline", "bound", "tsd", "gct", "hybrid",
+                           "auto"):
+                result = engine.top_r(k, r, method=method)
+                assert _canonical(result) == reference[(k, r)], \
+                    (name, method, k, r)
+
+    def test_snapshot_serves_the_same_rankings(self, case):
+        name, graph, reference = case
+        snapshot = Snapshot.build(graph)
+        for k, r in _sweep(graph):
+            result = snapshot.top_r(k, r, collect_contexts=False)
+            assert _canonical(result) == reference[(k, r)], (name, k, r)
+
+    def test_cluster_wire_serves_the_same_rankings(self, case,
+                                                   family_cluster):
+        """End to end: worker process, HTTP, consistent-hash proxy —
+        the bytes that reach a remote client carry the same canonical
+        ranking the in-process baseline computes."""
+        name, graph, reference = case
+        for k, r in _sweep(graph):
+            wire = family_cluster.top_r(name, k=k, r=r)
+            wire_ranked = [(tuple(v) if isinstance(v, list) else v, s)
+                           for v, s in zip(wire["vertices"],
+                                           wire["scores"])]
+            assert wire_ranked == reference[(k, r)], (name, k, r)
+
+    def test_rankings_are_exact_json_round_trips(self, case,
+                                                 family_cluster):
+        """Byte-level check: the wire body's vertices/scores JSON equals
+        the JSON encoding of the in-process answer (no float drift, no
+        re-ordering in serialisation)."""
+        name, graph, reference = case
+        k, r = 3, graph.num_vertices + 7
+        wire = family_cluster.top_r(name, k=k, r=r)
+        expected = online_search(graph, k, r)
+        assert json.dumps(wire["vertices"]) == \
+            json.dumps([list(v) if isinstance(v, tuple) else v
+                        for v in expected.vertices])
+        assert json.dumps(wire["scores"]) == json.dumps(expected.scores)
+
+    def test_zero_fill_tail_is_insertion_ordered(self, case):
+        """For k above max trussness every score is 0 and the ranking
+        must be exactly graph insertion order — the tie-break leg of
+        the canonical contract, isolated."""
+        name, graph, reference = case
+        n = graph.num_vertices
+        answer = reference[(40, n + 7)]
+        assert answer == [(v, 0) for v in graph.vertices()], name
+
+    def test_r_beyond_n_returns_every_vertex_once(self, case):
+        name, graph, reference = case
+        n = graph.num_vertices
+        for k in K_SWEEP:
+            answer = reference[(k, n + 7)]
+            assert len(answer) == n, (name, k)
+            assert len({v for v, _ in answer}) == n, (name, k)

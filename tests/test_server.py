@@ -322,6 +322,63 @@ class TestHTTPRoundTrip:
 
 
 # ----------------------------------------------------------------------
+# Client keep-alive
+# ----------------------------------------------------------------------
+class TestClientKeepAlive:
+    def test_100_requests_reuse_at_most_two_sockets(self, fleet):
+        """Regression: the client used to open a fresh connection per
+        request (urllib transport), which made any proxy built on it
+        pay a TCP handshake per routed query.  One hundred requests
+        from one client must ride at most two sockets (one, plus one
+        spare for a stale-socket recovery)."""
+        _, server, _ = fleet
+        client = ServerClient(f"http://127.0.0.1:{server.server_port}")
+        try:
+            for i in range(100):
+                if i % 3 == 0:
+                    assert client.healthz()["status"] == "ok"
+                elif i % 3 == 1:
+                    client.top_r("cliques", k=3, r=2)
+                else:
+                    client.score("random", 0, 3)
+            assert client.connections_opened <= 2
+        finally:
+            client.close()
+
+    def test_mixed_posts_and_errors_stay_on_the_pooled_socket(self, fleet):
+        """Error statuses and POST bodies must not poison keep-alive:
+        the server drains request bodies unconditionally and the client
+        must keep reusing the socket across 4xx answers."""
+        _, server, _ = fleet
+        client = ServerClient(f"http://127.0.0.1:{server.server_port}")
+        try:
+            for _ in range(10):
+                with pytest.raises(ServerError) as excinfo:
+                    client.top_r("ghost", k=3, r=1)
+                assert excinfo.value.status == 404
+                client.apply_updates("cliques", [])
+                assert client.healthz()["status"] == "ok"
+            assert client.connections_opened <= 2
+        finally:
+            client.close()
+
+    def test_recovers_when_the_server_closes_idle_sockets(self, fleet):
+        """A keep-alive socket the server dropped mid-pool must be
+        retried on a fresh connection, invisibly to the caller."""
+        _, server, _ = fleet
+        client = ServerClient(f"http://127.0.0.1:{server.server_port}")
+        try:
+            assert client.healthz()["status"] == "ok"
+            # Forcibly kill the pooled socket under the client.
+            assert client._pool
+            client._pool[0].sock.close()
+            assert client.healthz()["status"] == "ok"
+            assert client.connections_opened == 2
+        finally:
+            client.close()
+
+
+# ----------------------------------------------------------------------
 # Concurrency over the wire
 # ----------------------------------------------------------------------
 class TestHTTPConcurrency:
@@ -405,3 +462,9 @@ class TestServeCLI:
         from repro.cli import main
         assert main(["serve", "--http", "0", "--graph", "nopath"]) == 1
         assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_rejects_negative_workers(self, capsys):
+        from repro.cli import main
+        assert main(["serve", "--http", "0", "--graph", "g=g.txt",
+                     "--workers", "-1"]) == 1
+        assert "--workers" in capsys.readouterr().err
