@@ -4,7 +4,10 @@
 
 PY ?= python
 
-.PHONY: test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build examples bench-planner bench-warm bench-server bench-cluster bench-build benchmarks
+.PHONY: lint test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build examples bench-planner bench-warm bench-server bench-cluster bench-build benchmarks
+
+lint:           ## AST invariant checks (determinism, locks, exceptions, wire, ranking)
+	PYTHONPATH=src $(PY) -m repro.lint
 
 test:           ## tier-1 verify (ROADMAP)
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -12,7 +15,7 @@ test:           ## tier-1 verify (ROADMAP)
 doctest:        ## every module docstring example, executed
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_doctests.py
 
-check: test doctest
+check: lint test doctest
 
 smoke-service:  ## end-to-end service: store build, warm start, live updates
 	PYTHONPATH=src $(PY) examples/diversity_service.py

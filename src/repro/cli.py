@@ -52,6 +52,7 @@ from repro.core.gct import GCTIndex
 from repro.community.tcp import TCPIndex
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.engine import ENGINE_METHODS, EngineConfig, QueryEngine
+from repro.errors import IndexFormatError
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -170,7 +171,7 @@ def _cmd_query_index(args: argparse.Namespace) -> int:
     path = args.index
     try:
         index = TSDIndex.load(path)
-    except Exception:  # fall through to GCT format
+    except (IndexFormatError, ValueError):  # fall through to GCT format
         index = GCTIndex.load(path)
     result = index.top_r(args.k, args.r)
     print(result.summary())
@@ -395,6 +396,14 @@ def _cmd_communities(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+    argv = list(args.paths) + ["--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -533,6 +542,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=4)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_communities)
+
+    p = sub.add_parser("lint", help="AST-based invariant checks over "
+                                    "the repro source (RL001-RL005)")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to lint (default: the "
+                        "installed repro package source)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print each rule and its invariant, then exit")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

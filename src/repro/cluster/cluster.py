@@ -181,7 +181,7 @@ class ShardedCluster:
         if self._started:
             raise ClusterError("this cluster is already started")
         for slot in range(self.num_workers):
-            self._handles[slot] = self._spawn(slot)
+            self._handles[slot] = self._spawn(slot)  # repro-lint: disable=RL002 -- pre-start: the supervisor thread does not exist yet
         self._frontend = serve_frontend(self, port, host=self.host,
                                         quiet=self.quiet)
         self._started = True
@@ -281,7 +281,7 @@ class ShardedCluster:
                 return
             try:
                 self.restart_dead_workers()
-            except Exception as exc:
+            except Exception as exc:  # repro-lint: disable=RL003 -- a dead supervisor means permanent 503s; record and retry next tick
                 # The supervisor must outlive any single bad pass — a
                 # dead supervisor means permanent 503s for every later
                 # worker death.  Record and retry next tick.

@@ -102,7 +102,7 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
             handled = self._route(method, segments, body)
         except InvalidParameterError as exc:
             self._respond(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - keep workers alive
+        except Exception as exc:  # pragma: no cover; repro-lint: disable=RL003 -- router threads must outlive any single bad request
             self._respond(500, {"error": f"internal error: {exc}"})
         else:
             if not handled:

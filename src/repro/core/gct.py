@@ -36,6 +36,7 @@ from repro.core.results import (
 )
 from repro.core.tsd import TSDIndex, BuildProfile, canonical_kruskal_order
 from repro.util.dsu import DisjointSet
+from repro.util.jsonio import dumps_payload
 from repro.util.timing import StopWatch
 
 # Supernode: (trussness, members tuple).  Superedge: (i, j, weight) with
@@ -398,7 +399,8 @@ class GCTIndex:
 
     def save(self, path) -> None:
         """Persist as JSON (labels must be JSON-encodable)."""
-        Path(path).write_text(json.dumps(self.to_payload()), encoding="utf-8")
+        Path(path).write_text(dumps_payload(self.to_payload()),
+                              encoding="utf-8")
 
     @classmethod
     def load(cls, path) -> "GCTIndex":

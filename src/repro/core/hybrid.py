@@ -24,6 +24,7 @@ from repro.graph.graph import Graph, Vertex
 from repro.core.diversity import diversity_profile, social_contexts
 from repro.core.results import SearchResult, TopEntry, canonical_zero_fill
 from repro.core.tsd import TSDIndex
+from repro.util.jsonio import dumps_payload
 
 _PERSIST_VERSION = 1
 
@@ -121,7 +122,8 @@ class HybridSearcher:
 
     def save(self, path) -> None:
         """Persist the rankings as JSON (labels must be JSON-encodable)."""
-        Path(path).write_text(json.dumps(self.to_payload()), encoding="utf-8")
+        Path(path).write_text(dumps_payload(self.to_payload()),
+                              encoding="utf-8")
 
     @classmethod
     def load(cls, graph: Graph, path) -> "HybridSearcher":

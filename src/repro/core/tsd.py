@@ -41,6 +41,7 @@ from repro.core.results import (
     canonical_zero_fill,
 )
 from repro.util.dsu import DisjointSet
+from repro.util.jsonio import dumps_payload
 from repro.util.timing import StopWatch
 
 # One forest edge: (u, w, weight); per-vertex lists are weight-descending.
@@ -474,7 +475,8 @@ class TSDIndex:
 
     def save(self, path) -> None:
         """Persist as JSON (labels must be JSON-encodable)."""
-        Path(path).write_text(json.dumps(self.to_payload()), encoding="utf-8")
+        Path(path).write_text(dumps_payload(self.to_payload()),
+                              encoding="utf-8")
 
     @classmethod
     def load(cls, path) -> "TSDIndex":

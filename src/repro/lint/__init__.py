@@ -1,0 +1,91 @@
+"""``repro lint``: AST-based invariant checks for this codebase.
+
+The repo's standing invariants — the canonical ranking contract,
+``compress ≡ build``, byte-identical parallel builds — are enforced
+dynamically by the test suites, which catch structural bugs only when
+a seed happens to trigger one.  This package checks the *structural*
+half statically, from source, with a ``file:line`` per finding:
+
+=======  ============================================================
+Rule     Invariant guarded
+=======  ============================================================
+RL001    determinism — no unordered set iteration, unseeded
+         randomness, wall-clock or ``hash()`` on payload paths
+RL002    lock discipline — guarded shared state mutates under its
+         lock; durable file writes are tmp + ``os.replace``
+RL003    exception hygiene — no ``except Exception`` / bare
+         ``except`` without a justified pragma
+RL004    wire schema — HTTP routes, ``ServerClient`` methods and
+         response keys cannot drift apart
+RL005    ranking contract — ``SearchResult`` construction routes
+         through the canonical helpers
+=======  ============================================================
+
+Suppress a finding on its line with ``# repro-lint: disable=RL003 --
+<justification>``; a suppression that silences nothing (or an RL003
+one without a justification) is itself flagged as RL000.
+
+Run it as ``repro lint``, ``make lint`` or ``python -m repro.lint``;
+``--format json`` emits a machine-readable report.
+
+Examples
+--------
+>>> report = lint_sources({"service/x.py": (
+...     "def merge(a, b):\\n"
+...     "    return [k for k in set(a) | set(b)]\\n")})
+>>> [v.rule for v in report.violations]
+['RL001']
+>>> lint_sources({"service/x.py": (
+...     "def merge(a, b):\\n"
+...     "    return sorted(set(a) | set(b))\\n")}).clean
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.lint.framework import (
+    PARSE_ERROR,
+    UNUSED_SUPPRESSION,
+    LintReport,
+    Pragma,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    Violation,
+    parse_pragma,
+    run_rules,
+)
+from repro.lint.reporters import render_json, render_text, report_payload
+from repro.lint.rules import all_rules
+from repro.lint.runner import collect_sources, default_paths, lint_paths, main
+
+__all__ = [
+    "PARSE_ERROR",
+    "UNUSED_SUPPRESSION",
+    "LintReport",
+    "Pragma",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "collect_sources",
+    "default_paths",
+    "lint_paths",
+    "lint_sources",
+    "main",
+    "parse_pragma",
+    "render_json",
+    "render_text",
+    "report_payload",
+    "run_rules",
+]
+
+
+def lint_sources(texts: Dict[str, str],
+                 rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint in-memory sources keyed by relative path (tests, tools)."""
+    sources = {rel: SourceFile(rel, text) for rel, text in texts.items()}
+    return run_rules(sources, list(rules) if rules else all_rules())

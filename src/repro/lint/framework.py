@@ -1,0 +1,357 @@
+"""The ``repro lint`` core: rules, violations, pragmas, one-walk dispatch.
+
+The repo's standing invariants (ROADMAP "Standing invariants") are
+enforced dynamically by the cross-method and property-random suites —
+which catch a nondeterministic set iteration or an unlocked store write
+only when a seed happens to trigger it.  Whole bug classes here are
+*structural* and detectable from source; this module turns them into
+CI failures with a ``file:line``.
+
+Three kinds of pieces:
+
+* :class:`Violation` — one finding, with a stable rule id and location.
+* :class:`Rule` / :class:`ProjectRule` — a check.  File rules register
+  the AST node types they care about (:attr:`Rule.visits`) and the
+  framework walks each file's tree **once**, dispatching every node to
+  every interested rule with the ancestor chain attached (so a rule can
+  ask "am I inside a ``with self._lock`` block?" without re-walking).
+  Project rules see all files at once (the wire-schema cross-check
+  needs the server and the client together).
+* Pragmas — ``# repro-lint: disable=RL001`` on the offending line
+  suppresses that rule there; ``-- text`` after the rule list records
+  the justification.  A pragma that suppresses nothing is itself a
+  violation (:data:`UNUSED_SUPPRESSION`), so stale annotations cannot
+  accumulate.
+
+Examples
+--------
+>>> pragma = parse_pragma("x = 1  # repro-lint: disable=RL001 -- seeded")
+>>> sorted(pragma.rules), pragma.justification
+(['RL001'], 'seeded')
+>>> parse_pragma("x = 1  # a plain comment") is None
+True
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule id of the "unused suppression" meta-check.  Not suppressible:
+#: a pragma that silences the pragma checker would be unfalsifiable.
+UNUSED_SUPPRESSION = "RL000"
+
+#: Rule id under which unparseable files are reported.
+PARSE_ERROR = "RL999"
+
+_PRAGMA_PATTERN = re.compile(
+    r"#.*?repro-lint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: rule id, location, human message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of a report line."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able form (the ``--format json`` item shape)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "Violation":
+        """Inverse of :meth:`to_payload` (editor/CI consumers round-trip)."""
+        return cls(rule=payload["rule"], path=payload["path"],
+                   line=int(payload["line"]), col=int(payload["col"]),
+                   message=payload["message"])
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: frozenset
+    justification: str
+
+
+def parse_pragma(text: str, line: int = 0) -> Optional[Pragma]:
+    """The pragma on one source line, or ``None``."""
+    match = _PRAGMA_PATTERN.search(text)
+    if match is None:
+        return None
+    rules = frozenset(part.strip() for part in match.group(1).split(","))
+    return Pragma(line=line, rules=rules,
+                  justification=(match.group("why") or "").strip())
+
+
+class SourceFile:
+    """One parsed file: path, text, AST, and its pragma lines.
+
+    ``rel`` is the path rules scope on (POSIX separators, relative to
+    the linted root — e.g. ``service/store.py`` under ``src/repro``)
+    and the path violations report.
+    """
+
+    def __init__(self, rel: str, text: str,
+                 path: Optional[Path] = None) -> None:
+        self.rel = rel
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        # Pragmas come from real COMMENT tokens, not a text scan — a
+        # docstring *describing* the pragma syntax must not suppress.
+        self.pragmas: Dict[int, Pragma] = {}
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(text).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            pragma = parse_pragma(token.string, line=token.start[0])
+            if pragma is not None:
+                self.pragmas[pragma.line] = pragma
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+
+    @classmethod
+    def read(cls, path: Path, rel: str) -> "SourceFile":
+        """Load one file from disk."""
+        return cls(rel, path.read_text(encoding="utf-8"), path=path)
+
+
+class Rule:
+    """A per-file check, dispatched over one shared AST walk.
+
+    Subclasses set :attr:`id`, :attr:`name`, :attr:`invariant` and
+    :attr:`scope`, then either register node interests via
+    :attr:`visits` + :meth:`visit`, or override :meth:`check` for
+    whole-file logic.  ``visit`` receives the ancestor chain
+    (module ... parent), so structural context ("inside which
+    function?", "under which ``with``?") is one backwards scan away.
+    """
+
+    id: str = "RL???"
+    name: str = "unnamed"
+    #: One line: which repo invariant this rule guards (README table).
+    invariant: str = ""
+    #: Relative-path prefixes this rule applies to; empty = every file.
+    scope: Tuple[str, ...] = ()
+    #: AST node classes :meth:`visit` wants to see.
+    visits: Tuple[type, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this rule runs on the file at ``rel``."""
+        if not self.scope:
+            return True
+        return any(rel == prefix or rel.startswith(prefix)
+                   for prefix in self.scope)
+
+    def visit(self, node: ast.AST, ancestors: Sequence[ast.AST],
+              source: SourceFile) -> Iterable[Violation]:
+        """Handle one node of a registered type; yield violations."""
+        return ()
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        """Whole-file hook for rules that need no node dispatch."""
+        return ()
+
+    def violation(self, source: SourceFile, node: ast.AST,
+                  message: str) -> Violation:
+        """A :class:`Violation` anchored at ``node``."""
+        return Violation(rule=self.id, path=source.rel,
+                         line=getattr(node, "lineno", 0),
+                         col=getattr(node, "col_offset", 0) + 1,
+                         message=message)
+
+
+class ProjectRule(Rule):
+    """A cross-file check: sees every linted file in one call."""
+
+    def check_project(self, sources: Dict[str, SourceFile]
+                      ) -> Iterable[Violation]:
+        """Check the whole file set; keys are ``rel`` paths."""
+        return ()
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run found nothing."""
+        return not self.violations
+
+    def sorted(self) -> List[Violation]:
+        """Violations in report order: path, then line, then rule."""
+        return sorted(self.violations,
+                      key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def _dispatch_walk(source: SourceFile, rules: Sequence[Rule]
+                   ) -> List[Violation]:
+    """One tree walk, every node handed to every interested rule."""
+    interested = [rule for rule in rules if rule.visits]
+    violations: List[Violation] = []
+    if not interested or source.tree is None:
+        return violations
+    ancestors: List[ast.AST] = []
+
+    def walk(node: ast.AST) -> None:
+        for rule in interested:
+            if isinstance(node, rule.visits):
+                violations.extend(rule.visit(node, ancestors, source))
+        ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+        ancestors.pop()
+
+    walk(source.tree)
+    return violations
+
+
+def _apply_pragmas(source: SourceFile, found: List[Violation]
+                   ) -> List[Violation]:
+    """Drop suppressed violations; flag suppressions that did nothing.
+
+    A pragma suppresses a violation of one of its rules reported on the
+    pragma's own line.  Every ``(line, rule)`` pair that suppressed
+    nothing becomes an :data:`UNUSED_SUPPRESSION` violation — pragmas
+    must pay rent.
+    """
+    kept: List[Violation] = []
+    used: Set[Tuple[int, str]] = set()
+    for violation in found:
+        pragma = source.pragmas.get(violation.line)
+        if pragma is not None and violation.rule in pragma.rules \
+                and violation.rule != UNUSED_SUPPRESSION:
+            used.add((violation.line, violation.rule))
+        else:
+            kept.append(violation)
+    for line, pragma in source.pragmas.items():
+        for rule_id in sorted(pragma.rules):
+            if (line, rule_id) not in used:
+                kept.append(Violation(
+                    rule=UNUSED_SUPPRESSION, path=source.rel, line=line,
+                    col=1,
+                    message=f"unused suppression: {rule_id} did not fire "
+                            f"on this line"))
+    return kept
+
+
+def run_rules(sources: Dict[str, SourceFile], rules: Sequence[Rule]
+              ) -> LintReport:
+    """Run every rule over every applicable file; apply pragmas.
+
+    ``sources`` maps ``rel`` path to parsed file.  Unparseable files
+    report a single :data:`PARSE_ERROR` violation instead of their rule
+    findings.
+    """
+    report = LintReport(files_checked=len(sources))
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    found_by_file: Dict[str, List[Violation]] = {}
+    for rel in sorted(sources):
+        source = sources[rel]
+        if source.parse_error is not None:
+            error = source.parse_error
+            report.violations.append(Violation(
+                rule=PARSE_ERROR, path=rel, line=error.lineno or 0,
+                col=(error.offset or 0) or 1,
+                message=f"file does not parse: {error.msg}"))
+            continue
+        applicable = [r for r in file_rules if r.applies_to(rel)]
+        found = _dispatch_walk(source, applicable)
+        for rule in applicable:
+            found.extend(rule.check(source))
+        found_by_file[rel] = found
+    parseable = {rel: source for rel, source in sources.items()
+                 if source.parse_error is None}
+    # Project findings join their file's bucket *before* pragmas apply,
+    # so a cross-file finding is suppressible like any other.
+    for rule in project_rules:
+        for violation in rule.check_project(parseable):
+            found_by_file.setdefault(violation.path, []).append(violation)
+    for rel in sorted(found_by_file):
+        source = sources.get(rel)
+        if source is None:  # project finding on an unknown path
+            report.violations.extend(found_by_file[rel])
+            continue
+        report.violations.extend(_apply_pragmas(source, found_by_file[rel]))
+    report.violations = report.sorted()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers for the concrete rules
+# ----------------------------------------------------------------------
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted-name text of a Name/Attribute chain (``None`` otherwise).
+
+    ``self._store._manifest`` → ``"self._store._manifest"``; anything
+    with calls or subscripts inside returns ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def enclosing_function(ancestors: Sequence[ast.AST]
+                       ) -> Optional[ast.AST]:
+    """The innermost function def on the ancestor chain, if any."""
+    for node in reversed(ancestors):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def with_context_names(ancestors: Sequence[ast.AST]) -> Set[str]:
+    """Dotted names of every ``with`` context on the ancestor chain.
+
+    ``with self._lock:`` and ``with self._locked():`` both contribute
+    ``self._lock`` / ``self._locked`` — the call parentheses are
+    stripped, so lock attributes and lock-scope context managers are
+    matched the same way.
+    """
+    names: Set[str] = set()
+    for node in ancestors:
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            chain = attr_chain(expr)
+            if chain is not None:
+                names.add(chain)
+    return names

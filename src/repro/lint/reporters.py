@@ -1,0 +1,46 @@
+"""Lint output: a human ``file:line:col`` stream, or JSON for tools.
+
+The text form is the compiler-error convention editors and CI log
+scrapers already understand; the JSON form round-trips through
+:meth:`~repro.lint.framework.Violation.from_payload` so editor plugins
+and CI annotators consume findings without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.lint.framework import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """One line per violation, plus a summary tail."""
+    lines = [f"{violation.location()}: [{violation.rule}] "
+             f"{violation.message}"
+             for violation in report.sorted()]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.clean:
+        lines.append(f"repro lint: {report.files_checked} {noun} checked, "
+                     f"clean")
+    else:
+        count = len(report.violations)
+        noun_v = "violation" if count == 1 else "violations"
+        lines.append(f"repro lint: {count} {noun_v} in "
+                     f"{report.files_checked} {noun}")
+    return "\n".join(lines)
+
+
+def report_payload(report: LintReport) -> Dict[str, object]:
+    """JSON-able form of a whole run."""
+    return {
+        "files_checked": report.files_checked,
+        "clean": report.clean,
+        "violations": [violation.to_payload()
+                       for violation in report.sorted()],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """The ``--format json`` body (stable key order, 2-space indent)."""
+    return json.dumps(report_payload(report), indent=2)

@@ -1,0 +1,32 @@
+"""The rule registry: every project invariant check, by id."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.framework import Rule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.locking import LockDisciplineRule
+from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.wire import WireSchemaRule
+from repro.lint.rules.ranking import RankingContractRule
+
+__all__ = [
+    "DeterminismRule",
+    "ExceptionHygieneRule",
+    "LockDisciplineRule",
+    "RankingContractRule",
+    "WireSchemaRule",
+    "all_rules",
+]
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [
+        DeterminismRule(),
+        LockDisciplineRule(),
+        ExceptionHygieneRule(),
+        WireSchemaRule(),
+        RankingContractRule(),
+    ]

@@ -1,0 +1,110 @@
+"""RL001 — determinism: no unordered iteration on payload-building paths.
+
+Guards the **byte-identical parallelism** invariant (ROADMAP): every
+build strategy must produce byte-identical index payloads, and the
+store keys graphs by a content hash over canonical edge order — so any
+iteration whose order depends on set-hash layout, :func:`hash`
+randomisation, or wall-clock time can silently fork the bytes between
+two runs (the PR-4 ``graph_fingerprint`` instability was exactly an
+adjacency-*set* iteration order reaching a hashed blob).
+
+Flagged in ``truss/``, ``build/``, ``core/``, ``service/``:
+
+* ``for``-loops and comprehensions iterating a syntactic set
+  expression — a ``set(...)``/``frozenset(...)`` call, a set literal or
+  comprehension, or a union/intersection/difference of those (the
+  ``set(a) | set(b)`` merge idiom) — unless wrapped in ``sorted(...)``;
+* ``list(...)``/``tuple(...)`` materialising such an expression;
+* unseeded randomness: ``random.<fn>(...)`` module calls and
+  ``random.Random()`` with no seed (seeded ``random.Random(seed)``
+  instances are fine — their method calls don't name the module);
+* ``time.time()`` (use ``time.perf_counter`` for spans; wall-clock in
+  a payload differs per run by construction);
+* builtin ``hash(...)`` — PYTHONHASHSEED makes it per-process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence, Tuple
+
+from repro.lint.framework import Rule, SourceFile, Violation
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically builds an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_unordered(node.left) or _is_unordered(node.right)
+    return False
+
+
+class DeterminismRule(Rule):
+    """RL001: unordered iteration / unseeded entropy on payload paths."""
+
+    id = "RL001"
+    name = "determinism"
+    invariant = ("byte-identical parallel builds: payload and "
+                 "forest-assembly code must iterate deterministically")
+    scope = ("truss/", "build/", "core/", "service/")
+    visits = (ast.For, ast.comprehension, ast.Call)
+
+    def visit(self, node: ast.AST, ancestors: Sequence[ast.AST],
+              source: SourceFile) -> Iterable[Violation]:
+        if isinstance(node, ast.For):
+            yield from self._check_iterable(node.iter, source,
+                                            context="for-loop")
+        elif isinstance(node, ast.comprehension):
+            yield from self._check_iterable(node.iter, source,
+                                            context="comprehension")
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, source)
+
+    def _check_iterable(self, iterable: ast.AST, source: SourceFile,
+                        context: str) -> Iterable[Violation]:
+        if _is_unordered(iterable):
+            yield self.violation(
+                source, iterable,
+                f"{context} iterates an unordered set expression — "
+                f"iteration order is hash-dependent; wrap it in "
+                f"sorted(...) with a deterministic key")
+
+    def _check_call(self, node: ast.Call, source: SourceFile
+                    ) -> Iterable[Violation]:
+        func = node.func
+        # list(set(...)) / tuple(set(...)) freeze a hash order.
+        if isinstance(func, ast.Name) and func.id in ("list", "tuple") \
+                and node.args and _is_unordered(node.args[0]):
+            yield self.violation(
+                source, node,
+                f"{func.id}() materialises an unordered set expression "
+                f"in hash order; use sorted(...) instead")
+        # Builtin hash(): varies with PYTHONHASHSEED.
+        if isinstance(func, ast.Name) and func.id == "hash":
+            yield self.violation(
+                source, node,
+                "builtin hash() is per-process (PYTHONHASHSEED); use "
+                "hashlib for content addressing")
+        if not isinstance(func, ast.Attribute) \
+                or not isinstance(func.value, ast.Name):
+            return
+        module, attr = func.value.id, func.attr
+        if module == "time" and attr == "time":
+            yield self.violation(
+                source, node,
+                "time.time() is wall-clock: it differs per run; use "
+                "time.perf_counter() for spans and keep timestamps out "
+                "of payloads")
+        elif module == "random":
+            if attr == "Random" and (node.args or node.keywords):
+                return  # seeded random.Random(seed): reproducible
+            yield self.violation(
+                source, node,
+                f"random.{attr}() draws from the unseeded global "
+                f"generator; use a seeded random.Random(seed) instance")

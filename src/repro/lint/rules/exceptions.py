@@ -1,0 +1,99 @@
+"""RL003 — exception hygiene: no silent catch-alls.
+
+``except Exception`` (or a bare ``except:``) on a serving path eats
+the very failures the differential harness exists to surface — a
+worker that swallows an :class:`AssertionError` from a broken invariant
+keeps serving wrong answers instead of failing loudly.  The library
+has a typed hierarchy (:mod:`repro.errors`); handlers catch the
+concrete classes they can actually recover from.
+
+The small set of *intentional* catch-alls — the HTTP handler threads
+and the cluster supervisor, which must outlive any single bad request
+or respawn pass — carry a pragma naming that justification::
+
+    except Exception as exc:  # repro-lint: disable=RL003 -- keep workers alive
+
+A pragma without a justification text is itself flagged: "disabled" is
+not a reason.
+
+One shape is exempt outright: a broad handler that ends in a bare
+``raise``.  Catch–cleanup–reraise (release a reservation, report the
+error through a pipe, then propagate) swallows nothing — the breadth
+exists precisely so the cleanup runs for *every* failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.lint.framework import (
+    UNUSED_SUPPRESSION,
+    Rule,
+    SourceFile,
+    Violation,
+)
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _broad_name(node: ast.AST):
+    """The broad class an ``except`` clause names, if any."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            found = _broad_name(element)
+            if found is not None:
+                return found
+    return None
+
+
+def _reraises(node: ast.ExceptHandler) -> bool:
+    """Whether the handler body ends by re-raising what it caught.
+
+    A trailing bare ``raise`` — possibly wrapped in ``try/finally`` for
+    cleanup — means the handler propagates every exception it sees, so
+    its breadth hides nothing.
+    """
+    last = node.body[-1]
+    while isinstance(last, ast.Try) and last.body:
+        last = last.body[-1]
+    return isinstance(last, ast.Raise) and last.exc is None
+
+
+class ExceptionHygieneRule(Rule):
+    """RL003: ``except Exception`` / bare ``except`` need a stated why."""
+
+    id = "RL003"
+    name = "exception-hygiene"
+    invariant = ("failures surface typed: broad handlers hide broken "
+                 "invariants behind 200s and silent retries")
+    visits = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler,
+              ancestors: Sequence[ast.AST], source: SourceFile
+              ) -> Iterable[Violation]:
+        broad = _broad_name(node.type)
+        if broad is None or _reraises(node):
+            return
+        yield self.violation(
+            source, node,
+            f"broad handler ({broad}): catch the concrete exceptions "
+            f"this code can recover from (see repro.errors), or pragma "
+            f"it with a justification")
+        pragma = source.pragmas.get(node.lineno)
+        if pragma is not None and self.id in pragma.rules \
+                and not pragma.justification:
+            # The RL003 finding above is (legitimately) consumed by the
+            # pragma; the missing justification surfaces through the
+            # non-suppressible meta-rule instead.
+            yield Violation(
+                rule=UNUSED_SUPPRESSION, path=source.rel,
+                line=node.lineno, col=node.col_offset + 1,
+                message=f"suppression of {self.id} ({broad}) has no "
+                        f"justification — write `# repro-lint: "
+                        f"disable=RL003 -- <why this must catch "
+                        f"everything>`")

@@ -1,0 +1,230 @@
+"""RL002 — lock discipline: shared state mutates only under its lock.
+
+Guards the store's single-writer contract and the serving tier's
+concurrency model (PR 2/3/5): manifest and artifact writes in
+``service/store.py`` happen inside ``_locked()`` (flock + in-process
+mutex), registry/pool/handle mutations in ``server/`` and ``cluster/``
+happen inside their documented lock, and every durable file write goes
+through the tmp + ``os.replace`` idiom so a crash never tears a file.
+
+The guarded-state table below is the *explicit* contract: each entry
+names a file, the attributes whose mutation needs a lock, and the lock
+(or lock-scope context manager) that must be on the ``with`` stack.
+New shared state joins the table — or documents why not with a pragma.
+
+Two checks:
+
+* **Guarded writes.**  An assignment, deletion, augmented assignment or
+  mutating method call (``append``/``pop``/``add``/…) on a guarded
+  ``self.<attr>`` must sit lexically inside ``with self.<lock>`` /
+  ``with self.<lock>()`` — or inside the lock-scope provider function
+  itself (``_locked`` wraps the flock in ``_write_mutex``).
+* **Atomic file writes.**  ``.write_text(...)``, ``.write_bytes(...)``
+  and ``open(..., "w"/"a"/"x")`` in the scoped files must share a
+  function with an ``os.replace(...)`` call (the tmp-then-rename
+  idiom); anything else can leave a torn file for a concurrent reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Set, Tuple
+
+from repro.lint.framework import (
+    Rule,
+    SourceFile,
+    Violation,
+    attr_chain,
+    enclosing_function,
+    with_context_names,
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "popitem", "remove", "discard",
+    "add", "clear", "update", "setdefault",
+})
+
+#: File modes that write.
+_WRITE_MODES = ("w", "a", "x")
+
+
+@dataclass(frozen=True)
+class StateGuard:
+    """One file's lock contract."""
+
+    #: ``self.<lock>`` names accepted as the guarding scope.  A name
+    #: here also exempts the function *named* after it (the lock-scope
+    #: provider's own body, e.g. ``_locked``).
+    locks: frozenset
+    #: ``self.<attr>`` names whose mutation requires the lock.
+    attrs: frozenset = frozenset()
+    #: ``self.<method>()`` calls that count as guarded mutations
+    #: (e.g. the manifest writer helper).
+    calls: frozenset = frozenset()
+
+
+def _guard(locks: Iterable[str], attrs: Iterable[str] = (),
+           calls: Iterable[str] = ()) -> StateGuard:
+    return StateGuard(locks=frozenset(locks), attrs=frozenset(attrs),
+                      calls=frozenset(calls))
+
+
+#: rel-path → contract.  The documented concurrency design of each
+#: layer, made machine-checkable.
+STATE_GUARDS: Dict[str, StateGuard] = {
+    "service/store.py": _guard(
+        locks=("self._locked", "self._write_mutex"),
+        attrs=("_manifest",), calls=("_write_manifest",)),
+    "server/router.py": _guard(
+        locks=("self._registry_lock",),
+        attrs=("_services", "_pending")),
+    "server/client.py": _guard(
+        locks=("self._pool_lock",), attrs=("_pool",)),
+    "cluster/cluster.py": _guard(
+        locks=("self._lock", "self._respawn_lock"),
+        attrs=("_handles", "_registrations")),
+}
+
+
+def _written_attrs(node: ast.AST) -> Iterable[Tuple[str, ast.AST]]:
+    """``(attr, anchor)`` for every ``self.<attr>`` a statement writes."""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    else:
+        return
+    stack = list(targets)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+            continue
+        if isinstance(target, (ast.Subscript, ast.Starred)):
+            target = target.value
+        chain = attr_chain(target)
+        if chain is not None and chain.startswith("self."):
+            yield chain[len("self."):].split(".", 1)[0], target
+
+
+class LockDisciplineRule(Rule):
+    """RL002: guarded-state writes and atomic-file-write idiom."""
+
+    id = "RL002"
+    name = "lock-discipline"
+    invariant = ("single-writer store and serving tier: shared state "
+                 "mutates under its lock; durable writes are "
+                 "tmp + os.replace")
+    scope = ("service/store.py", "server/", "cluster/")
+    visits = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete,
+              ast.Call)
+
+    def visit(self, node: ast.AST, ancestors: Sequence[ast.AST],
+              source: SourceFile) -> Iterable[Violation]:
+        guard = STATE_GUARDS.get(source.rel)
+        if isinstance(node, ast.Call):
+            if guard is not None:
+                yield from self._check_guarded_call(node, ancestors,
+                                                    source, guard)
+            yield from self._check_file_write(node, ancestors, source)
+        elif guard is not None:
+            yield from self._check_write(node, ancestors, source, guard)
+
+    # -- guarded state -------------------------------------------------
+    def _held(self, ancestors: Sequence[ast.AST],
+              guard: StateGuard) -> bool:
+        function = enclosing_function(ancestors)
+        if function is not None and function.name == "__init__":
+            return True  # nothing shares the object mid-construction
+        if function is not None and \
+                any(lock.endswith("." + function.name)
+                    for lock in guard.locks):
+            return True  # the lock-scope provider's own body
+        return bool(with_context_names(ancestors) & set(guard.locks))
+
+    def _check_write(self, node: ast.AST, ancestors: Sequence[ast.AST],
+                     source: SourceFile, guard: StateGuard
+                     ) -> Iterable[Violation]:
+        for attr, anchor in _written_attrs(node):
+            if attr not in guard.attrs:
+                continue
+            if self._held(ancestors, guard):
+                continue
+            locks = " / ".join(sorted(guard.locks))
+            yield self.violation(
+                source, anchor,
+                f"write to guarded state self.{attr} outside a "
+                f"`with {locks}` scope")
+
+    def _check_guarded_call(self, node: ast.Call,
+                            ancestors: Sequence[ast.AST],
+                            source: SourceFile, guard: StateGuard
+                            ) -> Iterable[Violation]:
+        chain = attr_chain(node.func)
+        if chain is None or not chain.startswith("self."):
+            return
+        parts = chain.split(".")
+        locks = " / ".join(sorted(guard.locks))
+        # self.<helper>() that mutates guarded state (manifest writer).
+        if len(parts) == 2 and parts[1] in guard.calls \
+                and not self._held(ancestors, guard):
+            yield self.violation(
+                source, node,
+                f"call to self.{parts[1]}() mutates guarded state "
+                f"outside a `with {locks}` scope")
+        # self.<attr>.<mutator>() on a guarded attribute.
+        if len(parts) == 3 and parts[1] in guard.attrs \
+                and parts[2] in _MUTATORS \
+                and not self._held(ancestors, guard):
+            yield self.violation(
+                source, node,
+                f"self.{parts[1]}.{parts[2]}() mutates guarded state "
+                f"outside a `with {locks}` scope")
+
+    # -- atomic file writes --------------------------------------------
+    def _check_file_write(self, node: ast.Call,
+                          ancestors: Sequence[ast.AST],
+                          source: SourceFile) -> Iterable[Violation]:
+        writer = self._file_write_kind(node)
+        if writer is None:
+            return
+        function = enclosing_function(ancestors)
+        if function is not None and self._has_os_replace(function):
+            return
+        yield self.violation(
+            source, node,
+            f"{writer} writes a file without the tmp + os.replace() "
+            f"idiom in the same function — a crash mid-write leaves a "
+            f"torn file for concurrent readers")
+
+    @staticmethod
+    def _file_write_kind(node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("write_text", "write_bytes"):
+            return f".{func.attr}()"
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = None
+            if len(node.args) >= 2 and isinstance(node.args[1],
+                                                  ast.Constant):
+                mode = node.args[1].value
+            for keyword in node.keywords:
+                if keyword.arg == "mode" and isinstance(keyword.value,
+                                                        ast.Constant):
+                    mode = keyword.value.value
+            if isinstance(mode, str) and any(flag in mode
+                                             for flag in _WRITE_MODES):
+                return f"open(..., {mode!r})"
+        return None
+
+    @staticmethod
+    def _has_os_replace(function: ast.AST) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) \
+                    and attr_chain(node.func) == "os.replace":
+                return True
+        return False

@@ -1,0 +1,79 @@
+"""RL005 — ranking-contract routing: top-r answers go through canon.
+
+The canonical ranking contract (ROADMAP, ``repro/core/results.py``)
+requires every top-r path — baseline, bound, TSD, GCT, hybrid,
+``auto``, snapshot, HTTP wire, cluster wire — to return the identical
+ranked vertex list: descending score, ties by graph insertion order.
+The contract lives in three helpers (:class:`CanonicalTopR`,
+:func:`canonical_zero_fill`, :func:`build_entries`); a method that
+assembles a :class:`SearchResult` with its own ad-hoc sort silently
+re-introduces the scan-order ties the contract exists to kill.
+
+Two checks in ``core/``, ``engine/``, ``service/``, ``server/``,
+``cluster/`` (``core/results.py`` itself and the Section-7 experiment
+``models/`` — which document their offer-order ties — are exempt):
+
+* a function that *constructs* ``SearchResult(...)`` must also
+  reference a canonical helper (building entries via
+  ``build_entries`` or ranking via ``CanonicalTopR`` /
+  ``canonical_zero_fill``).  Pure delegators (``return
+  snapshot.top_r(...)``) construct nothing and pass freely.
+* :class:`TopRCollector` — the offer-order collector — must not be
+  used at all on these paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.lint.framework import Rule, SourceFile, Violation
+
+_CANONICAL_HELPERS = ("CanonicalTopR", "canonical_zero_fill",
+                      "build_entries")
+
+
+def _referenced_names(function: ast.AST) -> set:
+    """Every bare name referenced anywhere in ``function``."""
+    return {node.id for node in ast.walk(function)
+            if isinstance(node, ast.Name)}
+
+
+class RankingContractRule(Rule):
+    """RL005: ``SearchResult`` construction must route through canon."""
+
+    id = "RL005"
+    name = "ranking-contract"
+    invariant = ("canonical ranking contract: every top-r path returns "
+                 "the identical ranked vertex list (descending score, "
+                 "ties by insertion order)")
+    scope = ("core/", "engine/", "service/", "server/", "cluster/")
+    visits = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def applies_to(self, rel: str) -> bool:
+        if rel == "core/results.py":
+            return False  # the contract's own implementation
+        return super().applies_to(rel)
+
+    def visit(self, node: ast.AST, ancestors: Sequence[ast.AST],
+              source: SourceFile) -> Iterable[Violation]:
+        names = _referenced_names(node)
+        constructs = any(
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "SearchResult"
+            for call in ast.walk(node))
+        if "TopRCollector" in names:
+            yield self.violation(
+                source, node,
+                f"{node.name}() uses TopRCollector, whose ties follow "
+                f"offer order — use CanonicalTopR (the canonical "
+                f"ranking contract)")
+        if constructs and not any(helper in names
+                                  for helper in _CANONICAL_HELPERS):
+            yield self.violation(
+                source, node,
+                f"{node.name}() constructs a SearchResult without any "
+                f"canonical ranking helper (CanonicalTopR / "
+                f"canonical_zero_fill / build_entries) — ad-hoc "
+                f"rankings break the canonical ranking contract")

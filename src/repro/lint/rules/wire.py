@@ -1,0 +1,332 @@
+"""RL004 — wire-schema drift: server routes ≡ client surface ≡ frontend.
+
+The HTTP wire has three parties that must agree without sharing code:
+the worker server (``server/http.py``) registers routes and writes
+response keys, :class:`ServerClient` (``server/client.py``) addresses
+those routes and reads those keys, and the cluster frontend
+(``cluster/frontend.py``) fans out to worker endpoints through client
+methods.  Nothing ties them together at runtime — a renamed route or
+response key only fails when a test happens to cross that edge.
+
+This project rule parses all three and cross-checks:
+
+* every client endpoint (``self._request(method, path)``) resolves to
+  a server route with the same HTTP method (f-string placeholders
+  match the server's ``<name>`` path segments);
+* every server route is reachable from at least one client method —
+  an uncallable endpoint is drift in the other direction;
+* every response key the client subscripts out of ``_request(...)``
+  is a key the matching server branch actually writes (checked where
+  the server responds with a dict literal; computed payloads are
+  accepted as open);
+* every fan-out endpoint the frontend names (``_FANOUT_GET``) has a
+  ``_fan_<name>`` handler, and every ``client.<method>(...)`` call in
+  the frontend names a real :class:`ServerClient` method.
+
+The rule keys off relative paths (``server/http.py`` …); projects (and
+test fixtures) that lack the files simply skip the parts that need
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.framework import ProjectRule, SourceFile, Violation
+
+SERVER_REL = "server/http.py"
+CLIENT_REL = "server/client.py"
+FRONTEND_REL = "cluster/frontend.py"
+
+#: A route pattern: HTTP method + path segments; ``None`` segments are
+#: placeholders (``<name>`` on the server, f-string holes on the client).
+Route = Tuple[str, Tuple[Optional[str], ...]]
+
+
+def _const_list(node: ast.AST) -> Optional[List[str]]:
+    """The string elements of a literal list, or ``None``."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) \
+                or not isinstance(element.value, str):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _class_method(tree: ast.AST, method: str) -> Optional[ast.FunctionDef]:
+    """The first method named ``method`` on any class in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) \
+                        and item.name == method:
+                    return item
+    return None
+
+
+def _branch_condition(test: ast.AST) -> Optional[Tuple[str, List[str]]]:
+    """Decode ``method == "GET" and segments == [...]`` branch tests."""
+    if not isinstance(test, ast.BoolOp) or not isinstance(test.op, ast.And):
+        return None
+    http_method = None
+    segments: Optional[List[str]] = None
+    for value in test.values:
+        if not isinstance(value, ast.Compare) \
+                or len(value.comparators) != 1 \
+                or not isinstance(value.left, ast.Name):
+            continue
+        comparator = value.comparators[0]
+        if value.left.id == "method" \
+                and isinstance(comparator, ast.Constant):
+            http_method = comparator.value
+        elif value.left.id in ("segments", "rest"):
+            segments = _const_list(comparator)
+    if http_method is None or segments is None:
+        return None
+    return http_method, segments
+
+
+def _respond_keys(branch: List[ast.stmt]) -> Optional[Set[str]]:
+    """Keys of the dict literal a branch passes to ``self._respond``.
+
+    ``None`` means the payload is computed (open schema: key checks are
+    skipped for that endpoint).
+    """
+    for statement in branch:
+        for node in ast.walk(statement):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) \
+                    or func.attr != "_respond" or len(node.args) < 2:
+                continue
+            payload = node.args[1]
+            if isinstance(payload, ast.Dict):
+                keys: Set[str] = set()
+                for key in payload.keys:
+                    if not isinstance(key, ast.Constant):
+                        return None  # **spread or computed key
+                    keys.add(key.value)
+                return keys
+            return None
+    return None
+
+
+class _ServerSurface:
+    """Routes and (where literal) response keys of ``server/http.py``."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.routes: Dict[Route, Optional[Set[str]]] = {}
+        root = _class_method(source.tree, "_route")
+        graph = _class_method(source.tree, "_route_graph")
+        if root is not None:
+            self._collect(root, prefix=())
+        if graph is not None:
+            self._collect(graph, prefix=("graphs", None))
+
+    def _collect(self, function: ast.FunctionDef,
+                 prefix: Tuple[Optional[str], ...]) -> None:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.If):
+                continue
+            decoded = _branch_condition(node.test)
+            if decoded is None:
+                continue
+            http_method, segments = decoded
+            route: Route = (http_method, prefix + tuple(segments))
+            self.routes[route] = _respond_keys(node.body)
+
+    def match(self, method: str,
+              path: Tuple[Optional[str], ...]) -> Optional[Route]:
+        """The server route a client path pattern addresses, if any."""
+        for (route_method, segments) in self.routes:
+            if route_method != method or len(segments) != len(path):
+                continue
+            if all(expected is None or actual is None or expected == actual
+                   for expected, actual in zip(segments, path)):
+                return (route_method, segments)
+        return None
+
+
+def _request_endpoint(call: ast.Call) -> Optional[Route]:
+    """Decode a ``self._request("GET", <path>)`` call's endpoint."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "_request" \
+            or len(call.args) < 2:
+        return None
+    method_node, path_node = call.args[0], call.args[1]
+    if not isinstance(method_node, ast.Constant):
+        return None
+    segments: List[Optional[str]] = []
+    if isinstance(path_node, ast.Constant) \
+            and isinstance(path_node.value, str):
+        text_parts = [path_node.value]
+    elif isinstance(path_node, ast.JoinedStr):
+        text_parts = []
+        for value in path_node.values:
+            if isinstance(value, ast.Constant):
+                text_parts.append(str(value.value))
+            else:
+                text_parts.append("\x00")  # placeholder hole
+    else:
+        return None
+    for part in "".join(text_parts).split("/"):
+        if not part:
+            continue
+        segments.append(None if "\x00" in part else part)
+    return (method_node.value, tuple(segments))
+
+
+class _ClientSurface:
+    """Endpoints and response-key reads of each ``ServerClient`` method."""
+
+    def __init__(self, source: SourceFile) -> None:
+        #: method name → (endpoint, keys read off the _request result)
+        self.methods: Dict[str, Tuple[Route, Set[str]]] = {}
+        self.method_names: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                self.method_names.add(item.name)
+                self._collect(item)
+
+    def _collect(self, function: ast.FunctionDef) -> None:
+        endpoint: Optional[Route] = None
+        keys: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                decoded = _request_endpoint(node)
+                if decoded is not None:
+                    endpoint = decoded
+            if isinstance(node, ast.Subscript) \
+                    and isinstance(node.value, ast.Call) \
+                    and _request_endpoint(node.value) is not None \
+                    and isinstance(node.slice, ast.Constant):
+                keys.add(node.slice.value)
+        if endpoint is not None:
+            self.methods[function.name] = (endpoint, keys)
+
+
+class WireSchemaRule(ProjectRule):
+    """RL004: the HTTP wire's three parties must agree by construction."""
+
+    id = "RL004"
+    name = "wire-schema"
+    invariant = ("wire answers stay byte-identical to in-process ones: "
+                 "routes, client methods and response keys cannot drift "
+                 "apart silently")
+
+    def check_project(self, sources: Dict[str, SourceFile]
+                      ) -> Iterable[Violation]:
+        server_source = self._find(sources, SERVER_REL)
+        client_source = self._find(sources, CLIENT_REL)
+        frontend_source = self._find(sources, FRONTEND_REL)
+        server = (_ServerSurface(server_source)
+                  if server_source is not None else None)
+        client = (_ClientSurface(client_source)
+                  if client_source is not None else None)
+        if server is not None and client is not None:
+            yield from self._check_client_against_server(
+                client, client_source, server, server_source)
+        if frontend_source is not None and client is not None:
+            yield from self._check_frontend(frontend_source, client)
+
+    @staticmethod
+    def _find(sources: Dict[str, SourceFile],
+              suffix: str) -> Optional[SourceFile]:
+        for rel, source in sources.items():
+            if rel == suffix or rel.endswith("/" + suffix):
+                return source
+        return None
+
+    # -- client ↔ server ----------------------------------------------
+    def _check_client_against_server(self, client: _ClientSurface,
+                                     client_source: SourceFile,
+                                     server: _ServerSurface,
+                                     server_source: SourceFile
+                                     ) -> Iterable[Violation]:
+        covered: Set[Route] = set()
+        for name in sorted(client.methods):
+            (method, path), keys = client.methods[name]
+            route = server.match(method, path)
+            path_text = "/" + "/".join("<*>" if s is None else s
+                                       for s in path)
+            if route is None:
+                anchor = self._method_node(client_source, name)
+                yield self.violation(
+                    client_source, anchor,
+                    f"client method {name}() addresses {method} "
+                    f"{path_text}, which no server route serves")
+                continue
+            covered.add(route)
+            server_keys = server.routes[route]
+            if server_keys is None:
+                continue  # computed payload: open schema
+            for key in sorted(keys - server_keys):
+                anchor = self._method_node(client_source, name)
+                yield self.violation(
+                    client_source, anchor,
+                    f"client method {name}() reads response key "
+                    f"{key!r} that the server's {method} {path_text} "
+                    f"branch never writes (it writes "
+                    f"{sorted(server_keys)})")
+        def route_key(route: Route) -> Tuple[str, Tuple[str, ...]]:
+            method, segments = route
+            return method, tuple("" if s is None else s for s in segments)
+
+        for route in sorted(server.routes, key=route_key):
+            if route in covered:
+                continue
+            method, segments = route
+            path_text = "/" + "/".join("<name>" if s is None else s
+                                       for s in segments)
+            yield self.violation(
+                server_source, server_source.tree,
+                f"server route {method} {path_text} has no ServerClient "
+                f"method — the typed wire surface drifted")
+
+    @staticmethod
+    def _method_node(source: SourceFile, name: str) -> ast.AST:
+        found = _class_method(source.tree, name)
+        return found if found is not None else source.tree
+
+    # -- frontend ↔ client --------------------------------------------
+    def _check_frontend(self, source: SourceFile,
+                        client: _ClientSurface) -> Iterable[Violation]:
+        fanout: List[str] = []
+        handlers: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == "_FANOUT_GET":
+                        fanout = _const_list(node.value) or []
+            if isinstance(node, ast.FunctionDef) \
+                    and node.name.startswith("_fan_"):
+                handlers.add(node.name[len("_fan_"):])
+        for name in fanout:
+            if name not in handlers:
+                yield self.violation(
+                    source, source.tree,
+                    f"fan-out endpoint {name!r} in _FANOUT_GET has no "
+                    f"_fan_{name}() handler")
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "client" \
+                    and not func.attr.startswith("_") \
+                    and func.attr not in client.method_names:
+                yield self.violation(
+                    source, node,
+                    f"frontend calls client.{func.attr}(), which is not "
+                    f"a ServerClient method")

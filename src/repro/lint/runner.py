@@ -1,0 +1,80 @@
+"""File discovery and the ``repro lint`` / ``python -m repro.lint`` entry.
+
+With no path arguments the runner lints the installed ``repro`` package
+source itself — the invocation CI and ``make lint`` use — so the check
+is runnable from any working directory.  Explicit paths (files or
+directories) lint those instead, with rule scoping relative to each
+given directory (fixture trees in the test suite rely on this).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.framework import LintReport, Rule, SourceFile, run_rules
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import all_rules
+
+
+def default_paths() -> List[Path]:
+    """The package's own source tree (what CI lints)."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def collect_sources(paths: Sequence[Path]) -> Dict[str, SourceFile]:
+    """Parse every ``.py`` file under ``paths`` into a source map.
+
+    For a directory argument, files are keyed (and scoped) by their
+    POSIX path relative to that directory; a bare file argument is
+    keyed by its name.  Later paths win key collisions — callers lint
+    disjoint trees in practice.
+    """
+    sources: Dict[str, SourceFile] = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                rel = file.relative_to(path).as_posix()
+                sources[rel] = SourceFile.read(file, rel)
+        else:
+            sources[path.name] = SourceFile.read(path, path.name)
+    return sources
+
+
+def lint_paths(paths: Optional[Sequence[Path]] = None,
+               rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint ``paths`` (default: the repro package) with ``rules``
+    (default: every registered rule)."""
+    sources = collect_sources(paths if paths else default_paths())
+    return run_rules(sources, list(rules) if rules else all_rules())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry: exit 0 when clean, 1 on any violation."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checks (determinism, lock "
+                    "discipline, exception hygiene, wire schema, "
+                    "ranking contract)")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint (default: "
+                             "the installed repro package source)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report format (default: %(default)s)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print each rule id, name and the "
+                             "invariant it guards, then exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.invariant}")
+        return 0
+    report = lint_paths([Path(p) for p in args.paths] or None)
+    if args.fmt == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1

@@ -189,7 +189,7 @@ class ServerClient:
         try:
             return json.loads(payload.decode("utf-8")).get(
                 "error", f"status {status}")
-        except Exception:  # non-JSON error body
+        except (ValueError, AttributeError):  # non-JSON error body
             return payload.decode("utf-8", "replace") or f"status {status}"
 
     # ------------------------------------------------------------------

@@ -218,7 +218,7 @@ class DiversityRequestHandler(BaseHTTPRequestHandler):
             self._respond(409, {"error": str(exc)})
         except ReproError as exc:  # pragma: no cover - safety net
             self._respond(500, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - keep workers alive
+        except Exception as exc:  # pragma: no cover; repro-lint: disable=RL003 -- handler threads must outlive any single bad request
             self._respond(500, {"error": f"internal error: {exc}"})
         else:
             if not handled:

@@ -76,6 +76,7 @@ from repro.core.tsd import TSDIndex
 from repro.core.gct import GCTIndex
 from repro.core.hybrid import HybridSearcher
 from repro.service.snapshot import ScoreEntry, scores_from_payload
+from repro.util.jsonio import dumps_payload
 
 _MANIFEST_FORMAT = "repro-index-store"
 _MANIFEST_VERSION = 1
@@ -230,7 +231,8 @@ class IndexStore:
                            indent: Optional[int] = None) -> None:
         """Write JSON via tmp + :func:`os.replace` — never a torn file."""
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=indent), encoding="utf-8")
+        tmp.write_text(dumps_payload(payload, indent=indent),
+                       encoding="utf-8")
         os.replace(tmp, path)
 
     @contextmanager
@@ -267,7 +269,7 @@ class IndexStore:
         """Re-read the manifest from disk (another writer may have
         committed since this instance last looked)."""
         if self._manifest_path.exists():
-            self._manifest = self._read_manifest()
+            self._manifest = self._read_manifest()  # repro-lint: disable=RL002 -- single atomic rebind; readers see the old or new snapshot, never a torn one
 
     # ------------------------------------------------------------------
     # Catalogue queries

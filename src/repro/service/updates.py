@@ -229,7 +229,7 @@ def apply_batch(snapshot: Snapshot, updates: Sequence[UpdateLike],
     for w in affected:
         old_profile = old_profiles[w]
         new_profile = new_profiles.get(w, {})
-        for k in set(old_profile) | set(new_profile):
+        for k in sorted(set(old_profile) | set(new_profile)):
             if old_profile.get(k, 0) != new_profile.get(k, 0):
                 changed_ks.add(k)
 

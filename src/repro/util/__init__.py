@@ -1,6 +1,7 @@
-"""Shared utilities: union-find, timing."""
+"""Shared utilities: union-find, timing, canonical JSON bytes."""
 
 from repro.util.dsu import DisjointSet
+from repro.util.jsonio import dumps_payload
 from repro.util.timing import StopWatch, time_call
 
-__all__ = ["DisjointSet", "StopWatch", "time_call"]
+__all__ = ["DisjointSet", "StopWatch", "dumps_payload", "time_call"]

@@ -1,0 +1,39 @@
+"""The one definition of this repo's JSON byte format for artifacts.
+
+Index payloads (TSD, GCT, hybrid) and the store manifest are
+byte-compared across builds — the parallel build pipeline asserts
+byte-identical output and ``graph_fingerprint`` hashes serialized
+bytes.  That only holds if every writer serializes the same way, so
+they all route through :func:`dumps_payload` instead of calling
+``json.dumps`` with ad-hoc options.
+
+Key order is **insertion order, never ``sort_keys``**: payload dicts
+are constructed deterministically (``to_payload`` builds each dict in
+a fixed literal order), and sorting here would silently re-encode
+every existing on-disk artifact.  If the byte format ever changes,
+it changes in this module, with a store schema bump.
+
+Examples
+--------
+>>> dumps_payload({"b": 1, "a": [1, 2]})
+'{"b": 1, "a": [1, 2]}'
+>>> print(dumps_payload({"k": 1}, indent=2))
+{
+  "k": 1
+}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+def dumps_payload(payload: object, indent: Optional[int] = None) -> str:
+    """Serialize an artifact payload in the repo's canonical byte form.
+
+    ``indent=None`` (the default) is the compact form index ``save()``
+    writes; the store manifest passes ``indent=2`` for a diffable
+    file.  Both keep insertion key order — see the module docstring.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=False)

@@ -1,0 +1,477 @@
+"""Tests for the ``repro lint`` invariant checker.
+
+Each rule gets a bad fixture it must fire on and a good fixture it
+must stay silent on; the pragma mechanism, the reporters, the runner
+and the CLI wiring each get their own checks; and the suite ends with
+the self-run — the real repository must lint clean, so reverting any
+of the violations this PR fixed (e.g. the unsorted profile-union walk
+in ``service/updates.py``) fails the suite, not just ``make lint``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    PARSE_ERROR,
+    UNUSED_SUPPRESSION,
+    Violation,
+    all_rules,
+    collect_sources,
+    default_paths,
+    lint_paths,
+    lint_sources,
+    parse_pragma,
+    render_json,
+    render_text,
+    report_payload,
+)
+from repro.lint import main as lint_main
+
+
+def fired(report):
+    """The distinct rule ids a report contains."""
+    return sorted({violation.rule for violation in report.violations})
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_parse_single_rule_with_justification(self):
+        pragma = parse_pragma(
+            "x = 1  # repro-lint: disable=RL001 -- seeded", line=7)
+        assert pragma.line == 7
+        assert set(pragma.rules) == {"RL001"}
+        assert pragma.justification == "seeded"
+
+    def test_parse_multiple_rules(self):
+        pragma = parse_pragma("# repro-lint: disable=RL001,RL003")
+        assert set(pragma.rules) == {"RL001", "RL003"}
+        assert pragma.justification == ""
+
+    def test_plain_comment_is_not_a_pragma(self):
+        assert parse_pragma("x = 1  # a plain comment") is None
+
+    def test_pragma_suppresses_violation_on_its_line(self):
+        report = lint_sources({"service/x.py": (
+            "def merge(a, b):\n"
+            "    return [k for k in set(a) | set(b)]"
+            "  # repro-lint: disable=RL001 -- order-insensitive count\n")})
+        assert report.clean
+
+    def test_unused_pragma_is_flagged(self):
+        report = lint_sources({"service/x.py": (
+            "def add(a, b):\n"
+            "    return a + b  # repro-lint: disable=RL001 -- stale\n")})
+        assert fired(report) == [UNUSED_SUPPRESSION]
+        assert "RL001 did not fire" in report.violations[0].message
+
+    def test_unused_suppression_is_not_suppressible(self):
+        report = lint_sources({"service/x.py": (
+            "x = 1  # repro-lint: disable=RL000 -- nice try\n")})
+        assert fired(report) == [UNUSED_SUPPRESSION]
+
+    def test_pragma_in_docstring_does_not_suppress(self):
+        report = lint_sources({"service/x.py": (
+            'def merge(a, b):\n'
+            '    """# repro-lint: disable=RL001 -- just docs"""\n'
+            '    return [k for k in set(a) | set(b)]\n')})
+        assert fired(report) == ["RL001"]
+
+    def test_parse_error_reports_rl999(self):
+        report = lint_sources({"service/x.py": "def broken(:\n"})
+        assert fired(report) == [PARSE_ERROR]
+
+
+# ----------------------------------------------------------------------
+# RL001 — determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_fires_on_set_union_for_loop(self):
+        # The exact service/updates.py idiom this PR fixed: reverting
+        # `sorted(...)` there must make the self-run test fail.
+        report = lint_sources({"service/updates.py": (
+            "def invalidate(old_profile, new_profile):\n"
+            "    out = []\n"
+            "    for k in set(old_profile) | set(new_profile):\n"
+            "        out.append(k)\n"
+            "    return out\n")})
+        assert fired(report) == ["RL001"]
+
+    def test_sorted_union_is_clean(self):
+        report = lint_sources({"service/updates.py": (
+            "def invalidate(old_profile, new_profile):\n"
+            "    out = []\n"
+            "    for k in sorted(set(old_profile) | set(new_profile)):\n"
+            "        out.append(k)\n"
+            "    return out\n")})
+        assert report.clean
+
+    def test_fires_on_comprehension_over_set_literal(self):
+        report = lint_sources({"core/x.py": (
+            "def f(a, b, c):\n"
+            "    return [v for v in {a, b, c}]\n")})
+        assert fired(report) == ["RL001"]
+
+    def test_fires_on_list_of_set(self):
+        report = lint_sources({"build/x.py": (
+            "def f(xs):\n"
+            "    return list(set(xs))\n")})
+        assert fired(report) == ["RL001"]
+
+    def test_fires_on_hash_time_and_unseeded_random(self):
+        report = lint_sources({"truss/x.py": (
+            "import random\n"
+            "import time\n"
+            "def f(x):\n"
+            "    return hash(x), time.time(), random.random()\n")})
+        assert len(report.violations) == 3
+        assert fired(report) == ["RL001"]
+
+    def test_seeded_random_instance_is_clean(self):
+        report = lint_sources({"build/x.py": (
+            "import random\n"
+            "def f(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random()\n")})
+        assert report.clean
+
+    def test_out_of_scope_file_is_clean(self):
+        report = lint_sources({"viz.py": (
+            "def f(xs):\n"
+            "    return list(set(xs))\n")})
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# RL002 — lock discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_fires_on_unlocked_manifest_write(self):
+        report = lint_sources({"service/store.py": (
+            "class IndexStore:\n"
+            "    def refresh(self):\n"
+            "        self._manifest = self._read_manifest()\n")})
+        assert fired(report) == ["RL002"]
+
+    def test_write_under_lock_scope_is_clean(self):
+        report = lint_sources({"service/store.py": (
+            "class IndexStore:\n"
+            "    def put(self, payload):\n"
+            "        with self._locked():\n"
+            "            self._manifest = payload\n")})
+        assert report.clean
+
+    def test_init_assignment_is_exempt(self):
+        report = lint_sources({"service/store.py": (
+            "class IndexStore:\n"
+            "    def __init__(self):\n"
+            "        self._manifest = {}\n")})
+        assert report.clean
+
+    def test_fires_on_unlocked_mutator_call(self):
+        report = lint_sources({"server/router.py": (
+            "class Router:\n"
+            "    def remove(self, name):\n"
+            "        return self._services.pop(name)\n")})
+        assert fired(report) == ["RL002"]
+
+    def test_mutator_under_lock_is_clean(self):
+        report = lint_sources({"server/router.py": (
+            "class Router:\n"
+            "    def remove(self, name):\n"
+            "        with self._registry_lock:\n"
+            "            return self._services.pop(name)\n")})
+        assert report.clean
+
+    def test_fires_on_non_atomic_file_write(self):
+        report = lint_sources({"server/dump.py": (
+            "def dump(path, text):\n"
+            "    path.write_text(text, encoding='utf-8')\n")})
+        assert fired(report) == ["RL002"]
+        assert "os.replace" in report.violations[0].message
+
+    def test_tmp_plus_replace_write_is_clean(self):
+        report = lint_sources({"server/dump.py": (
+            "import os\n"
+            "def dump(path, tmp, text):\n"
+            "    tmp.write_text(text, encoding='utf-8')\n"
+            "    os.replace(tmp, path)\n")})
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# RL003 — exception hygiene
+# ----------------------------------------------------------------------
+class TestExceptionHygiene:
+    @pytest.mark.parametrize("clause", [
+        "except Exception:", "except BaseException:", "except:",
+        "except (ValueError, Exception):",
+    ])
+    def test_fires_on_broad_handler(self, clause):
+        report = lint_sources({"engine/x.py": (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            f"    {clause}\n"
+            "        return 0\n")})
+        assert fired(report) == ["RL003"]
+
+    def test_narrow_handler_is_clean(self):
+        report = lint_sources({"engine/x.py": (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except (ValueError, OSError):\n"
+            "        return 0\n")})
+        assert report.clean
+
+    def test_justified_pragma_suppresses(self):
+        report = lint_sources({"engine/x.py": (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:"
+            "  # repro-lint: disable=RL003 -- keep workers alive\n"
+            "        return 0\n")})
+        assert report.clean
+
+    def test_pragma_without_justification_is_flagged(self):
+        report = lint_sources({"engine/x.py": (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:  # repro-lint: disable=RL003\n"
+            "        return 0\n")})
+        assert fired(report) == [UNUSED_SUPPRESSION]
+        assert "no justification" in report.violations[0].message
+
+    def test_cleanup_reraise_is_exempt(self):
+        report = lint_sources({"engine/x.py": (
+            "def f(pending, name):\n"
+            "    try:\n"
+            "        return start()\n"
+            "    except BaseException:\n"
+            "        pending.discard(name)\n"
+            "        raise\n")})
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# RL004 — wire-schema drift
+# ----------------------------------------------------------------------
+GOOD_SERVER = """\
+class Handler:
+    def _route(self, method, segments, body):
+        if method == "GET" and segments == ["healthz"]:
+            self._respond(200, {"ok": True})
+            return True
+        return False
+
+    def _route_graph(self, method, rest, name, body):
+        if method == "GET" and rest == ["top_r"]:
+            self._respond(200, {"entries": [], "score": 3})
+            return True
+        return False
+"""
+
+GOOD_CLIENT = """\
+class ServerClient:
+    def healthz(self):
+        return self._request("GET", "/healthz")["ok"]
+
+    def top_r(self, name):
+        return self._request("GET", f"/graphs/{name}/top_r")["entries"]
+"""
+
+GOOD_FRONTEND = """\
+_FANOUT_GET = ("healthz",)
+
+
+class Frontend:
+    def _fan_healthz(self, client):
+        return client.healthz()
+"""
+
+
+class TestWireSchema:
+    def test_matching_surfaces_are_clean(self):
+        report = lint_sources({"server/http.py": GOOD_SERVER,
+                               "server/client.py": GOOD_CLIENT,
+                               "cluster/frontend.py": GOOD_FRONTEND})
+        assert report.clean
+
+    def test_fires_on_client_method_with_no_route(self):
+        bad_client = GOOD_CLIENT + (
+            "\n    def statz(self):\n"
+            "        return self._request('GET', '/statz')\n")
+        report = lint_sources({"server/http.py": GOOD_SERVER,
+                               "server/client.py": bad_client})
+        assert fired(report) == ["RL004"]
+        assert any("statz" in v.message for v in report.violations)
+
+    def test_fires_on_key_the_server_never_writes(self):
+        bad_client = GOOD_CLIENT.replace('["ok"]', '["oops"]')
+        report = lint_sources({"server/http.py": GOOD_SERVER,
+                               "server/client.py": bad_client})
+        assert fired(report) == ["RL004"]
+        assert any("'oops'" in v.message for v in report.violations)
+
+    def test_fires_on_uncovered_server_route(self):
+        # Add a GET /version branch to _route with no client method.
+        bad_server = GOOD_SERVER.replace(
+            "        return False\n\n    def _route_graph",
+            "        if method == \"GET\" and segments == [\"version\"]:\n"
+            "            self._respond(200, {\"version\": 1})\n"
+            "            return True\n"
+            "        return False\n\n    def _route_graph", 1)
+        report = lint_sources({"server/http.py": bad_server,
+                               "server/client.py": GOOD_CLIENT})
+        assert fired(report) == ["RL004"]
+        assert any("GET /version" in v.message for v in report.violations)
+
+    def test_fires_on_fanout_without_handler(self):
+        bad_frontend = GOOD_FRONTEND.replace(
+            '("healthz",)', '("healthz", "stats")')
+        report = lint_sources({"server/http.py": GOOD_SERVER,
+                               "server/client.py": GOOD_CLIENT,
+                               "cluster/frontend.py": bad_frontend})
+        assert fired(report) == ["RL004"]
+        assert any("_fan_stats" in v.message for v in report.violations)
+
+    def test_fires_on_unknown_client_method_call(self):
+        bad_frontend = GOOD_FRONTEND.replace(
+            "client.healthz()", "client.bogus()")
+        report = lint_sources({"server/http.py": GOOD_SERVER,
+                               "server/client.py": GOOD_CLIENT,
+                               "cluster/frontend.py": bad_frontend})
+        assert fired(report) == ["RL004"]
+        assert any("client.bogus()" in v.message
+                   for v in report.violations)
+
+
+# ----------------------------------------------------------------------
+# RL005 — ranking-contract routing
+# ----------------------------------------------------------------------
+class TestRankingContract:
+    def test_fires_on_ad_hoc_search_result(self):
+        report = lint_sources({"core/x.py": (
+            "def top_r(scores, r):\n"
+            "    ranked = sorted(scores.items(), key=lambda kv: -kv[1])\n"
+            "    return SearchResult(entries=ranked[:r])\n")})
+        assert fired(report) == ["RL005"]
+
+    def test_canonical_helper_is_clean(self):
+        report = lint_sources({"core/x.py": (
+            "def top_r(graph, scores, r):\n"
+            "    entries = build_entries(graph, scores, r)\n"
+            "    return SearchResult(entries=entries)\n")})
+        assert report.clean
+
+    def test_fires_on_top_r_collector(self):
+        report = lint_sources({"engine/x.py": (
+            "def top_r(scores, r):\n"
+            "    collector = TopRCollector(r)\n"
+            "    return collector\n")})
+        assert fired(report) == ["RL005"]
+
+    def test_models_and_results_are_exempt(self):
+        body = ("def top_r(scores, r):\n"
+                "    return TopRCollector(r)\n")
+        report = lint_sources({"models/baseline.py": body,
+                               "core/results.py": body})
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def test_text_report_lists_location_and_rule(self):
+        report = lint_sources({"build/x.py": (
+            "def f(xs):\n"
+            "    return list(set(xs))\n")})
+        text = render_text(report)
+        assert "build/x.py:2:12: [RL001]" in text
+        assert "1 violation in 1 file" in text
+
+    def test_clean_text_report(self):
+        text = render_text(lint_sources({"viz.py": "x = 1\n"}))
+        assert text == "repro lint: 1 file checked, clean"
+
+    def test_json_report_round_trips(self):
+        report = lint_sources({"build/x.py": (
+            "def f(xs):\n"
+            "    return list(set(xs))\n")})
+        payload = json.loads(render_json(report))
+        assert payload["files_checked"] == 1
+        assert payload["clean"] is False
+        restored = [Violation.from_payload(item)
+                    for item in payload["violations"]]
+        assert restored == report.sorted()
+
+
+# ----------------------------------------------------------------------
+# Runner + CLI
+# ----------------------------------------------------------------------
+def write_tree(root, files):
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+class TestRunner:
+    def test_collect_sources_scopes_relative_to_directory(self, tmp_path):
+        write_tree(tmp_path, {"service/x.py": "x = 1\n",
+                              "core/y.py": "y = 2\n"})
+        sources = collect_sources([tmp_path])
+        assert sorted(sources) == ["core/y.py", "service/x.py"]
+
+    def test_lint_paths_over_fixture_tree(self, tmp_path):
+        write_tree(tmp_path, {"service/x.py": (
+            "def f(xs):\n"
+            "    return list(set(xs))\n")})
+        report = lint_paths([tmp_path])
+        assert fired(report) == ["RL001"]
+
+    def test_main_exit_codes_and_json(self, tmp_path, capsys):
+        write_tree(tmp_path, {"service/x.py": (
+            "def f(xs):\n"
+            "    return list(set(xs))\n")})
+        assert lint_main([str(tmp_path)]) == 1
+        assert "[RL001]" in capsys.readouterr().out
+        assert lint_main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["violations"][0]["rule"] == "RL001"
+
+    def test_list_rules_names_every_rule(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+
+    def test_cli_lint_subcommand(self, tmp_path, capsys):
+        write_tree(tmp_path, {"core/x.py": "x = 1\n"})
+        assert cli_main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The self-run: this repository lints clean
+# ----------------------------------------------------------------------
+class TestSelfRun:
+    def test_repository_is_lint_clean(self):
+        report = lint_paths()
+        assert report.files_checked > 50
+        assert report.clean, render_text(report)
+
+    def test_default_paths_point_at_the_package(self):
+        (package,) = default_paths()
+        assert package.name == "repro"
+        assert (package / "lint" / "framework.py").exists()
