@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: lint test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build examples bench-planner bench-warm bench-server bench-cluster bench-build benchmarks
+.PHONY: lint test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build smoke-mmap examples bench-planner bench-warm bench-server bench-cluster bench-build bench-mmap benchmarks
 
 lint:           ## AST invariant checks (determinism, locks, exceptions, wire, ranking)
 	PYTHONPATH=src $(PY) -m repro.lint
@@ -32,6 +32,9 @@ smoke-cluster:  ## end-to-end cluster: start 2 workers, query, kill one, recover
 smoke-parallel-build:  ## jobs=2 builds must byte-match serial builds
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_parallel_build.py
 
+smoke-mmap:     ## binary format: round-trips, corrupt artifacts, lazy LRU, delta/compact
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_storage.py
+
 examples:       ## every example script, executed (they assert their claims)
 	for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -52,6 +55,9 @@ bench-cluster:  ## routed QPS: worker processes (1/2/4) vs single process
 
 bench-build:    ## index build: per-vertex vs shared pass vs worker pool
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_parallel_build.py --benchmark-disable
+
+bench-mmap:     ## store warm start: mmap vs JSON vs cold build (BENCH_mmap.json)
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_mmap_warm_start.py --benchmark-disable
 
 benchmarks:     ## full paper-reproduction report (slow)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_*.py --benchmark-disable

@@ -20,6 +20,10 @@ usable without writing Python:
   named graphs (multi-graph routing, live updates, store compaction);
   ``--workers N`` shards the graphs across N supervised worker
   processes behind a consistent-hash router tier
+* ``repro convert-index STORE --to bin`` — migrate a store's tsd/gct
+  artifacts between the json and bin codecs in place
+* ``repro store-inspect PATH``         — a ``.bin`` artifact's header and
+  layout stats, or a store root's catalogue
 * ``repro sparsify GRAPH OUT -k 4``    — write the reduced graph
 * ``repro generate NAME OUT``          — write a registry dataset
 * ``repro communities GRAPH VERTEX``   — k-truss community search
@@ -69,6 +73,17 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
 def _jobs_value(args: argparse.Namespace):
     """CLI ``--jobs`` to library ``jobs``: ``-1`` means ``None``."""
     return None if args.jobs < 0 else args.jobs
+
+
+def _add_codec_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--codec`` flag of the store-writing subcommands."""
+    from repro.storage.codec import codec_names
+    parser.add_argument(
+        "--codec", choices=codec_names(), default="json",
+        help="artifact codec for new tsd/gct writes: 'json' keeps the "
+             "original whole-payload files, 'bin' writes the paged "
+             "binary format (mmap zero-copy warm starts) "
+             "(default: %(default)s)")
 
 
 def _load_graph(path: str) -> Graph:
@@ -183,7 +198,7 @@ def _cmd_query_index(args: argparse.Namespace) -> int:
 def _cmd_serve_build(args: argparse.Namespace) -> int:
     from repro.service import IndexStore
     graph = _load_graph(args.graph)
-    store = IndexStore(args.store)
+    store = IndexStore(args.store, codec=args.codec)
     engine = QueryEngine(graph, EngineConfig(build_jobs=_jobs_value(args)))
     artifacts = [name.strip() for name in args.artifacts.split(",")
                  if name.strip()]
@@ -258,7 +273,8 @@ def _cmd_serve_cluster(args: argparse.Namespace, pairs: List[tuple]) -> int:
     """``repro serve --workers N``: the process-sharded cluster path."""
     from repro.cluster import ShardedCluster
     cluster = ShardedCluster(args.workers, store_root=args.store or None,
-                             build_jobs=_jobs_value(args), host=args.host,
+                             build_jobs=_jobs_value(args),
+                             store_codec=args.codec, host=args.host,
                              quiet=args.quiet)
     cluster.start(port=args.http)
     try:
@@ -284,7 +300,9 @@ def _cmd_serve_cluster(args: argparse.Namespace, pairs: List[tuple]) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import DiversityRouter, serve
-    store = args.store or None
+    from repro.service import IndexStore
+    store = (IndexStore(args.store, codec=args.codec)
+             if args.store else None)
     if not args.graph:
         print("error: register at least one graph with --graph NAME=PATH",
               file=sys.stderr)
@@ -327,6 +345,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
         server.shutdown()
     return 0
+
+
+def _cmd_convert_index(args: argparse.Namespace) -> int:
+    from repro.service import IndexStore
+    store = IndexStore(args.store)
+    converted = store.convert(args.to)
+    print(f"converted {converted} artifact file(s) in {args.store} "
+          f"to the {args.to!r} codec")
+    return 0
+
+
+def _inspect_artifact(path: Path, verify: bool) -> int:
+    """``repro store-inspect`` on one ``.bin`` artifact file."""
+    from repro.storage import ArtifactReader
+    with ArtifactReader(path) as reader:
+        stats = reader.stats()
+        if verify:
+            reader.verify_checksum()
+            stats["checksum"] = "ok"
+    for field in ("kind", "format_version", "fingerprint", "num_vertices",
+                  "records_present", "max_weight", "labels_bytes",
+                  "profile_bytes", "dict_bytes", "heap_bytes", "dead_bytes",
+                  "file_bytes", "record_bytes_min", "record_bytes_max",
+                  "record_bytes_mean", "checksum"):
+        if field in stats:
+            print(f"{field:>18}: {stats[field]}")
+    return 0
+
+
+def _inspect_store(root: Path) -> int:
+    """``repro store-inspect`` on a store root: the manifest catalogue."""
+    from repro.service import IndexStore
+    store = IndexStore(root)
+    keys = store.keys()
+    print(f"store {root}: {len(keys)} graph lineage(s), codec "
+          f"{store.codec!r} for new writes")
+    for key in keys:
+        versions = store.versions(key)
+        print(f"  {key[:12]}…: {len(versions)} version(s)")
+        for version in versions:
+            parts = []
+            for name in version.artifact_names:
+                path = root / version.artifacts[name]
+                size = path.stat().st_size if path.is_file() else 0
+                parts.append(f"{name}[{version.codec_of(name)}, "
+                             f"{size:,}B]")
+            print(f"    v{version.version}: {' '.join(parts)}")
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    from repro.errors import StoreError
+    path = Path(args.path)
+    try:
+        if path.is_file():
+            return _inspect_artifact(path, args.verify)
+        if (path / "manifest.json").is_file():
+            return _inspect_store(path)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"error: {path} is neither a .bin artifact nor an index-store "
+          "root", file=sys.stderr)
+    return 1
 
 
 def _cmd_sparsify(args: argparse.Namespace) -> int:
@@ -466,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifacts", default="tsd,gct,hybrid",
                    help="comma-separated artifacts to persist "
                         "(default: %(default)s)")
+    _add_codec_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_serve_build)
 
@@ -507,8 +590,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "router (default: %(default)s)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
+    _add_codec_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("convert-index",
+                       help="migrate a store's tsd/gct artifacts between "
+                            "the json and bin codecs in place")
+    p.add_argument("store", help="index-store directory")
+    p.add_argument("--to", choices=("json", "bin"), required=True,
+                   help="target codec")
+    p.set_defaults(func=_cmd_convert_index)
+
+    p = sub.add_parser("store-inspect",
+                       help="print a .bin artifact's header and layout "
+                            "stats, or a store root's catalogue")
+    p.add_argument("path", help="a .bin artifact file or a store root")
+    p.add_argument("--verify", action="store_true",
+                   help="verify the artifact's payload checksum "
+                        "(.bin files only)")
+    p.set_defaults(func=_cmd_store_inspect)
 
     p = sub.add_parser("sparsify", help="write the Property-1 reduced graph")
     p.add_argument("graph")

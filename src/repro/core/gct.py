@@ -142,15 +142,37 @@ class GCTIndex:
         self._superedges = superedges
         self._vertices: List[Vertex] = list(vertex_order)
         # Sorted (descending) weight arrays drive O(log) Lemma-3 queries.
-        self._tau_sorted: Dict[Vertex, List[int]] = {
-            v: sorted((tau for tau, _ in nodes), reverse=True)
-            for v, nodes in supernodes.items()
-        }
-        self._weight_sorted: Dict[Vertex, List[int]] = {
-            v: sorted((w for _, _, w in edges), reverse=True)
-            for v, edges in superedges.items()
-        }
+        # With lazy providers (Mappings exposing ``tau_sorted(v)`` /
+        # ``weight_sorted(v)``, e.g. the mmap-backed maps in
+        # :mod:`repro.storage.lazy`) nothing is precomputed: the sorted
+        # arrays decode per vertex from the record prefix on demand.
+        if callable(getattr(supernodes, "tau_sorted", None)):
+            self._tau_sorted: Optional[Dict[Vertex, List[int]]] = None
+        else:
+            self._tau_sorted = {
+                v: sorted((tau for tau, _ in nodes), reverse=True)
+                for v, nodes in supernodes.items()
+            }
+        if callable(getattr(superedges, "weight_sorted", None)):
+            self._weight_sorted: Optional[Dict[Vertex, List[int]]] = None
+        else:
+            self._weight_sorted = {
+                v: sorted((w for _, _, w in edges), reverse=True)
+                for v, edges in superedges.items()
+            }
         self.build_profile = build_profile
+
+    def _taus(self, v: Vertex) -> List[int]:
+        """Descending supernode taus of ``v`` (eager dict or provider)."""
+        if self._tau_sorted is None:
+            return self._supernodes.tau_sorted(v)
+        return self._tau_sorted[v]
+
+    def _edge_weights(self, v: Vertex) -> List[int]:
+        """Descending superedge weights of ``v``."""
+        if self._weight_sorted is None:
+            return self._superedges.weight_sorted(v)
+        return self._weight_sorted[v]
 
     # ------------------------------------------------------------------
     # Construction
@@ -243,8 +265,8 @@ class GCTIndex:
         """Lemma 3: ``score(v) = N_k − M_k`` via two binary searches."""
         self._check_k(k)
         self._check_vertex(v)
-        n_k = count_at_least(self._tau_sorted[v], k)
-        m_k = count_at_least(self._weight_sorted[v], k)
+        n_k = count_at_least(self._taus(v), k)
+        m_k = count_at_least(self._edge_weights(v), k)
         return n_k - m_k
 
     def contexts(self, v: Vertex, k: int) -> List[Set[Vertex]]:
@@ -282,10 +304,10 @@ class GCTIndex:
     def score_profile(self, v: Vertex) -> Dict[int, int]:
         """``score(v)`` for every ``k`` from 2 to the max supernode tau."""
         self._check_vertex(v)
-        taus = self._tau_sorted[v]
+        taus = self._taus(v)
         if not taus or taus[0] < 2:
             return {}
-        weights = self._weight_sorted[v]
+        weights = self._edge_weights(v)
         return {
             k: count_at_least(taus, k) - count_at_least(weights, k)
             for k in range(2, taus[0] + 1)

@@ -170,9 +170,19 @@ class TSDIndex:
                  build_profile: Optional[BuildProfile] = None) -> None:
         self._forests = forests
         self._vertices: List[Vertex] = list(vertex_order)
-        self._weights: Dict[Vertex, List[int]] = {
-            v: [w for _, _, w in edges] for v, edges in forests.items()
-        }
+        # ``forests`` is normally a plain dict, but any Mapping with the
+        # lazy-provider protocol (``weights(v)`` + ``max_weight``, e.g.
+        # :class:`repro.storage.lazy.LazyForestMap`) also works: then
+        # nothing is precomputed here and per-vertex weight columns are
+        # fetched from the provider on demand — the mmap warm-start
+        # path.  Queries are bit-identical either way: the provider
+        # serves the same stored edge lists a dict would hold.
+        if callable(getattr(forests, "weights", None)):
+            self._weights: Optional[Dict[Vertex, List[int]]] = None
+        else:
+            self._weights = {
+                v: [w for _, _, w in edges] for v, edges in forests.items()
+            }
         self.build_profile = build_profile
         # Per-k (bounds, visit order) memo for top_r, plus the vertex
         # position map both the memo and the collector tie-breaks use.
@@ -278,7 +288,7 @@ class TSDIndex:
         """The Section 5.2 pruning bound ``⌊|{w(e) ≥ k}| / (k-1)⌋``."""
         self._check_k(k)
         self._check_vertex(v)
-        return tsd_upper_bound(self._weights[v], k)
+        return tsd_upper_bound(self._weights_of(v), k)
 
     def scores_for_all(self, k: int) -> Dict[Vertex, int]:
         """``score(v)`` for every indexed vertex at one threshold.
@@ -329,7 +339,7 @@ class TSDIndex:
         key = min(k, max(self._max_forest_weight() + 1, 2))
         cached = self._bound_cache.get(key)
         if cached is None:
-            bounds = {v: tsd_upper_bound(self._weights[v], key)
+            bounds = {v: tsd_upper_bound(self._weights_of(v), key)
                       for v in self._vertices}
             order = sorted(self._vertices,
                            key=lambda v: (-bounds[v], position[v]))
@@ -373,12 +383,28 @@ class TSDIndex:
             self._position = {v: i for i, v in enumerate(self._vertices)}
         return self._position
 
+    def _weights_of(self, v: Vertex) -> List[int]:
+        """One vertex's forest-weight column (descending), from the
+        eager dict or the lazy provider."""
+        if self._weights is None:
+            return self._forests.weights(v)
+        return self._weights[v]
+
     def _max_forest_weight(self) -> int:
         """Max stored forest-edge weight (0 for an edgeless index);
-        weight lists are descending, so it is each list's head."""
+        weight lists are descending, so it is each list's head.  A lazy
+        provider answers from its header in O(1) — the value is an
+        *upper bound* there (delta writes never rescan for a superseded
+        maximum), which only loosens the memo-key clamp: thresholds
+        between the true and recorded maximum get their own all-zero
+        bound entry instead of sharing one.  Answers are unaffected.
+        """
         if self._max_weight is None:
-            self._max_weight = max(
-                (w[0] for w in self._weights.values() if w), default=0)
+            if self._weights is None:
+                self._max_weight = self._forests.max_weight
+            else:
+                self._max_weight = max(
+                    (w[0] for w in self._weights.values() if w), default=0)
         return self._max_weight
 
     def _invalidate_query_caches(self) -> None:
@@ -390,10 +416,27 @@ class TSDIndex:
     # ------------------------------------------------------------------
     # Mutation hooks for dynamic maintenance (Section 5.3 remarks)
     # ------------------------------------------------------------------
+    def _materialise(self) -> None:
+        """Convert a lazy forest provider into plain owned dicts.
+
+        Mutation cannot patch a read-only mmap artifact, so the first
+        mutating call on a lazily-loaded index decodes every forest
+        once and continues on the eager path — exactly the state an
+        eager ``from_payload`` load would have produced.
+        """
+        if self._weights is not None:
+            return
+        provider = self._forests
+        self._forests = {v: list(provider[v]) for v in self._vertices
+                         if v in provider}
+        self._weights = {v: [w for _, _, w in edges]
+                         for v, edges in self._forests.items()}
+
     def replace_forest(self, v: Vertex, edges: Iterable[ForestEdge]) -> None:
         """Install a freshly rebuilt forest for ``v`` (registering ``v``
         if it is new).  Used by incremental maintenance after an edge
         update invalidated the vertex's ego-network."""
+        self._materialise()
         ordered = sorted(edges, key=lambda item: -item[2])
         if v not in self._forests:
             self._vertices.append(v)
@@ -404,6 +447,7 @@ class TSDIndex:
     def drop_vertex(self, v: Vertex) -> None:
         """Remove ``v`` from the index (vertex deleted from the graph)."""
         if v in self._forests:
+            self._materialise()
             del self._forests[v]
             del self._weights[v]
             self._vertices.remove(v)

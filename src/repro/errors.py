@@ -45,6 +45,18 @@ class StoreError(ReproError):
     (unknown graph, missing version, or a corrupt manifest)."""
 
 
+class ArtifactFormatError(StoreError):
+    """A binary index artifact is unreadable: bad magic, unsupported
+    format version, truncation, or a failed checksum/bounds check.
+    Subclasses :class:`StoreError` so store callers need no new
+    ``except`` arms."""
+
+    def __init__(self, source, reason: str):
+        super().__init__(f"{source}: {reason}")
+        self.source = str(source)
+        self.reason = reason
+
+
 class UnknownGraphError(ReproError, KeyError):
     """A :class:`~repro.server.router.DiversityRouter` has no graph
     registered under the requested name."""

@@ -85,6 +85,9 @@ STATE_GUARDS: Dict[str, StateGuard] = {
     "cluster/cluster.py": _guard(
         locks=("self._lock", "self._respawn_lock"),
         attrs=("_handles", "_registrations")),
+    "storage/reader.py": _guard(
+        locks=("self._lock",),
+        attrs=("_cache", "_labels")),
 }
 
 
@@ -119,7 +122,7 @@ class LockDisciplineRule(Rule):
     invariant = ("single-writer store and serving tier: shared state "
                  "mutates under its lock; durable writes are "
                  "tmp + os.replace")
-    scope = ("service/store.py", "server/", "cluster/")
+    scope = ("service/store.py", "server/", "cluster/", "storage/")
     visits = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete,
               ast.Call)
 

@@ -180,15 +180,18 @@ class DiversityService:
                                                 jobs=self.build_jobs)
             if self._store is not None:
                 previous = self._version_of(current)
-                # The snapshot's private graph: store writes only read
-                # it (fingerprint + payload), and Snapshot.graph would
+                # graph_view: store writes only read the graph
+                # (fingerprint + payload), and Snapshot.graph would
                 # charge a full defensive copy per update batch.
+                # changed_vertices lets a binary-codec store patch only
+                # the affected records instead of rewriting artifacts.
                 version = self._store.put(
-                    next_snapshot._graph,
+                    next_snapshot.graph_view,
                     tsd=next_snapshot.tsd, gct=next_snapshot.gct,
                     hybrid=next_snapshot.hybrid,
                     scores=scores_to_payload(next_snapshot.score_entries()),
-                    previous=previous)
+                    previous=previous,
+                    changed_vertices=report.affected_vertices)
                 next_snapshot.version = version.version
                 next_snapshot.key = version.key
             self._snapshot = next_snapshot  # atomic publish
@@ -200,9 +203,9 @@ class DiversityService:
         if snapshot.key is None:
             return None
         try:
-            # key= skips re-fingerprinting (and the _graph access skips
-            # the defensive copy Snapshot.graph would make).
-            return self._store.current(snapshot._graph, key=snapshot.key)
+            # key= skips re-fingerprinting (and graph_view skips the
+            # defensive copy Snapshot.graph would make).
+            return self._store.current(snapshot.graph_view, key=snapshot.key)
         except StoreError:
             # Expected: the lineage was compacted away (or never
             # persisted) — link-less re-version.  Anything else (I/O
@@ -226,7 +229,8 @@ class DiversityService:
                 "persist score caches")
         snapshot = self._snapshot
         entries = snapshot.score_entries()
-        self._store.put_scores(snapshot._graph, scores_to_payload(entries),
+        self._store.put_scores(snapshot.graph_view,
+                               scores_to_payload(entries),
                                key=snapshot.key)
         return sorted(entries)
 

@@ -160,9 +160,26 @@ class Snapshot:
         "immutable" snapshot from outside (and desynchronise its store
         key, which hashes the graph content), so every access pays for
         a fresh copy.  Use :attr:`num_vertices` / :attr:`num_edges`
-        when only the size is needed.
+        when only the size is needed, and :attr:`graph_view` for
+        read-only traversal without the O(V+E) copy.
         """
         return self._graph.copy()
+
+    @property
+    def graph_view(self) -> Graph:
+        """The snapshot's graph *without* a defensive copy — read-only.
+
+        The copy in :attr:`graph` is O(V+E) per access, which turns
+        stats endpoints, fingerprint lookups, and ledger writes into
+        accidental full-graph traversals.  Callers that only *read*
+        (iteration, degree lookups, fingerprinting) use this view and
+        must never mutate it — mutating a published snapshot's graph
+        breaks the immutability contract and desynchronises its store
+        key.  Callers that mutate (the update pipeline's
+        :func:`~repro.service.updates.apply_batch`) stay on
+        :attr:`graph`.
+        """
+        return self._graph
 
     @property
     def num_vertices(self) -> int:

@@ -12,8 +12,8 @@ Layout on disk::
     <root>/
       manifest.json                    # the store catalogue
       .lock                            # cross-process writer lock
-      objects/<graph-key>/v<N>/tsd.json
-      objects/<graph-key>/v<N>/gct.json
+      objects/<graph-key>/v<N>/tsd.json      # or tsd.bin (codec="bin")
+      objects/<graph-key>/v<N>/gct.json      # or gct.bin
       objects/<graph-key>/v<N>/hybrid.json
       objects/<graph-key>/v<N>/scores.json   # persisted score cache
 
@@ -35,6 +35,14 @@ Design notes
   :func:`repro.service.snapshot.scores_to_payload`) and hands them back
   to the matching ``from_payload`` — it never interprets artifact
   internals.
+* **Pluggable codecs.**  *How* a payload becomes bytes is a
+  :mod:`repro.storage.codec` choice: ``codec="json"`` (default) keeps
+  the original whole-payload JSON files; ``codec="bin"`` writes the
+  ``tsd``/``gct`` artifacts in the paged binary format, which
+  :meth:`load` opens lazily through an mmap so a warm start pays O(1)
+  decode instead of deserialising every forest.  The manifest records
+  the codec per artifact, so mixed stores read fine whatever codec an
+  :class:`IndexStore` instance was opened with.
 * **Durability.**  Artifact and manifest writes go through tmp +
   ``os.replace``; ``put`` / ``put_scores`` / ``compact`` hold an
   on-disk lock and re-read the manifest first, so concurrent writers
@@ -76,6 +84,8 @@ from repro.core.tsd import TSDIndex
 from repro.core.gct import GCTIndex
 from repro.core.hybrid import HybridSearcher
 from repro.service.snapshot import ScoreEntry, scores_from_payload
+from repro.storage.codec import BINARY_NAMES, codec_for_artifact, get_codec
+from repro.storage.writer import compact_artifact
 from repro.util.jsonio import dumps_payload
 
 _MANIFEST_FORMAT = "repro-index-store"
@@ -115,11 +125,17 @@ class StoreVersion:
     key: str
     version: int
     artifacts: Dict[str, str] = field(default_factory=dict)  # name -> relpath
+    #: name -> codec for artifacts not stored as JSON (absent = json).
+    codecs: Dict[str, str] = field(default_factory=dict)
 
     @property
     def artifact_names(self) -> List[str]:
         """Artifacts present in this version, in canonical order."""
         return [name for name in ARTIFACT_NAMES if name in self.artifacts]
+
+    def codec_of(self, name: str) -> str:
+        """The codec one artifact was written with (``json`` default)."""
+        return self.codecs.get(name, "json")
 
 
 @dataclass(frozen=True)
@@ -178,17 +194,30 @@ class IndexStore:
     root:
         Directory holding the store; created (with parents) if missing.
         An existing directory must contain a valid manifest or be empty.
+    codec:
+        Artifact codec for *new* ``tsd``/``gct`` writes: ``"json"``
+        (default, the original whole-payload files) or ``"bin"`` (the
+        paged binary format of :mod:`repro.storage`, opened lazily
+        through an mmap on :meth:`load`).  Reading is always
+        codec-agnostic — the manifest records each artifact's codec.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, codec: str = "json") -> None:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self._root / "manifest.json"
+        self._codec_name = get_codec(codec).name  # validates the name
         # In-process writer mutex, held alongside the cross-process
         # flock: without fcntl (non-POSIX) the on-disk lock degrades,
         # and even one process can host concurrent writers (the
         # router's per-graph update threads share this store).
         self._write_mutex = threading.Lock()
+        # Parsed-manifest cache keyed by (st_mtime_ns, st_size): every
+        # locked operation re-reads the manifest to merge concurrent
+        # writers, but re-*parsing* an unchanged file is pure waste on
+        # a hot update path.  The tuple is rebound atomically, so a
+        # lock-free refresh() sees the old or new pair, never a mix.
+        self._manifest_cache: Optional[Tuple[Tuple[int, int], Dict]] = None
         if self._manifest_path.exists():
             self._manifest = self._read_manifest()
         else:
@@ -204,8 +233,18 @@ class IndexStore:
         """The store's root directory."""
         return self._root
 
+    @property
+    def codec(self) -> str:
+        """The codec new ``tsd``/``gct`` artifacts are written with."""
+        return self._codec_name
+
     def _read_manifest(self) -> Dict:
         try:
+            stat = self._manifest_path.stat()
+            stamp = (stat.st_mtime_ns, stat.st_size)
+            cached = self._manifest_cache
+            if cached is not None and cached[0] == stamp:
+                return cached[1]  # unchanged on disk: skip the parse
             manifest = json.loads(
                 self._manifest_path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
@@ -218,6 +257,7 @@ class IndexStore:
             raise StoreError(
                 f"{self._manifest_path}: unsupported manifest version "
                 f"{manifest.get('version')!r}")
+        self._manifest_cache = (stamp, manifest)
         return manifest
 
     def _write_manifest(self) -> None:
@@ -226,6 +266,16 @@ class IndexStore:
         # artifact in the store).
         self._write_json_atomic(self._manifest_path, self._manifest,
                                 indent=2)
+        try:
+            stat = self._manifest_path.stat()
+        except OSError:  # pragma: no cover - raced by a concurrent rm
+            self._manifest_cache = None
+            return
+        # The freshly replaced file *is* self._manifest: stamp it so the
+        # next locked re-read skips the parse instead of re-reading our
+        # own write back.
+        self._manifest_cache = ((stat.st_mtime_ns, stat.st_size),
+                                self._manifest)
 
     def _write_json_atomic(self, path: Path, payload: Dict,
                            indent: Optional[int] = None) -> None:
@@ -293,13 +343,23 @@ class IndexStore:
         return {name: record[name] for name in ARTIFACT_NAMES
                 if name in record}
 
+    @staticmethod
+    def _record_codecs(record: Dict) -> Dict[str, str]:
+        """Per-artifact codecs of one version record (json omitted)."""
+        return dict(record.get("codecs", {}))
+
+    def _version_from_record(self, key: str, number: int,
+                             record: Dict) -> StoreVersion:
+        return StoreVersion(key=key, version=number,
+                            artifacts=self._record_artifacts(record),
+                            codecs=self._record_codecs(record))
+
     def versions(self, key: str) -> List[StoreVersion]:
         """All versions of one graph's lineage, oldest first."""
         entry = self._manifest["graphs"].get(key)
         if entry is None:
             raise StoreError(f"no stored indexes for graph key {key!r}")
-        return [StoreVersion(key=key, version=int(number),
-                             artifacts=self._record_artifacts(record))
+        return [self._version_from_record(key, int(number), record)
                 for number, record in sorted(entry["versions"].items(),
                                              key=lambda item: int(item[0]))]
 
@@ -315,9 +375,8 @@ class IndexStore:
                 f"no stored indexes for this graph (key {key[:12]}…); "
                 "run a build first (repro serve-build)")
         number = entry["current"]
-        return StoreVersion(
-            key=key, version=number,
-            artifacts=self._record_artifacts(entry["versions"][str(number)]))
+        return self._version_from_record(key, number,
+                                         entry["versions"][str(number)])
 
     # ------------------------------------------------------------------
     # Writes
@@ -327,7 +386,8 @@ class IndexStore:
             gct: Optional[GCTIndex] = None,
             hybrid: Optional[HybridSearcher] = None,
             scores: Optional[Dict] = None,
-            previous: Optional[StoreVersion] = None) -> StoreVersion:
+            previous: Optional[StoreVersion] = None,
+            changed_vertices=None) -> StoreVersion:
         """Persist artifacts as a new version of this graph's lineage.
 
         Artifacts passed as ``None`` are carried forward by reference
@@ -348,6 +408,14 @@ class IndexStore:
         would silently serve pre-update scores), so a cross-lineage
         version holds exactly the artifacts supplied here.
 
+        ``changed_vertices`` (an update batch's affected-vertex set)
+        enables delta re-versions under the binary codec: the previous
+        version's artifact bytes are carried over with only the changed
+        records appended and their dictionary offsets patched — no
+        unchanged record is re-encoded (see
+        :func:`repro.storage.writer.write_delta`).  Ignored under the
+        JSON codec or when no usable base artifact exists.
+
         Artifact files are written via tmp + :func:`os.replace` and the
         whole operation holds the store's on-disk lock (with a manifest
         re-read), so a crash mid-write never leaves a torn artifact and
@@ -364,33 +432,70 @@ class IndexStore:
                 number = previous.version + 1
             version_dir = self._root / "objects" / key / f"v{number}"
             carried = entry["versions"].get(str(entry["current"]), {})
+            carried_codecs = self._record_codecs(carried)
 
             artifacts: Dict[str, str] = {}
+            codecs: Dict[str, str] = {}
             supplied = {"tsd": tsd, "gct": gct, "hybrid": hybrid,
                         "scores": scores}
             for name in ARTIFACT_NAMES:
                 obj = supplied[name]
                 if obj is not None:
+                    codec_name = codec_for_artifact(name, self._codec_name)
+                    codec = get_codec(codec_name)
                     version_dir.mkdir(parents=True, exist_ok=True)
-                    path = version_dir / f"{name}.json"
+                    path = version_dir / f"{name}.{codec.extension}"
                     payload = obj if name == "scores" else obj.to_payload()
-                    self._write_json_atomic(path, payload)
+                    written = False
+                    if changed_vertices is not None:
+                        base = self._delta_base(name, previous, carried,
+                                                carried_codecs, codec_name)
+                        if base is not None:
+                            written = codec.write_incremental(
+                                self._root / base, path, payload,
+                                changed_vertices, fingerprint=key)
+                    if not written:
+                        codec.write(path, payload, fingerprint=key)
                     artifacts[name] = str(path.relative_to(self._root))
+                    if codec_name != "json":
+                        codecs[name] = codec_name
                 elif name in carried:
                     artifacts[name] = carried[name]  # carried forward
+                    if name in carried_codecs:
+                        codecs[name] = carried_codecs[name]
             if not any(name in artifacts for name in
                        ("tsd", "gct", "hybrid")):
                 raise StoreError("refusing to store an index-less version: "
                                  "supply at least one of tsd=, gct=, hybrid=")
 
             record = dict(artifacts)
+            if codecs:
+                record["codecs"] = dict(codecs)
             if previous is not None and previous.key != key:
                 record["parent"] = {"key": previous.key,
                                     "version": previous.version}
             entry["versions"][str(number)] = record
             entry["current"] = number
             self._write_manifest()
-        return StoreVersion(key=key, version=number, artifacts=artifacts)
+        return StoreVersion(key=key, version=number, artifacts=artifacts,
+                            codecs=codecs)
+
+    def _delta_base(self, name: str, previous: Optional[StoreVersion],
+                    carried: Dict, carried_codecs: Dict[str, str],
+                    codec_name: str) -> Optional[str]:
+        """The relpath a delta write may build on, or ``None``.
+
+        A usable base is the same-name artifact of the linked previous
+        version (the cross-lineage update path) or of the same lineage's
+        current version, written with the *same* codec.
+        """
+        if previous is not None and name in previous.artifacts \
+                and previous.codec_of(name) == codec_name:
+            return previous.artifacts[name]
+        if name in carried \
+                and carried_codecs.get(name, "json") == codec_name:
+            return carried[name]
+        return None
 
     def put_scores(self, graph: Graph, scores: Dict,
                    key: Optional[str] = None) -> Optional[StoreVersion]:
@@ -420,27 +525,33 @@ class IndexStore:
             artifacts = dict(version.artifacts)
             artifacts["scores"] = relpath
         return StoreVersion(key=version.key, version=version.version,
-                            artifacts=artifacts)
+                            artifacts=artifacts, codecs=version.codecs)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def _artifact_payload(self, version: StoreVersion, name: str) -> Dict:
         path = self._root / version.artifacts[name]
-        try:
-            return json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError) as exc:
-            raise StoreError(f"{path}: unreadable artifact ({exc})") from exc
+        return get_codec(version.codec_of(name)).load_payload(path)
 
     def load(self, graph: Graph,
              names: Optional[List[str]] = None,
-             key: Optional[str] = None) -> StoredIndexes:
+             key: Optional[str] = None,
+             lazy: bool = True) -> StoredIndexes:
         """Materialise the current version's artifacts for this graph.
 
         ``names`` restricts which artifacts are deserialized (all stored
         ones by default); ``key`` skips re-hashing, as in :meth:`has`.
         The hybrid artifact is re-attached to ``graph`` — its payload
         carries rankings, not the graph.
+
+        ``lazy`` (default) opens binary-codec ``tsd``/``gct`` artifacts
+        through the mmap reader — the index is constructed from the
+        file's label list and a lazy forest provider, so a warm start
+        decodes no per-vertex record until a query touches it.  Pass
+        ``lazy=False`` to force full materialisation (the conversion
+        and inspection paths want the whole payload in memory).
+        JSON-codec artifacts always materialise.
         """
         version = self.current(graph, key=key)
         wanted = version.artifact_names if names is None else list(names)
@@ -448,8 +559,18 @@ class IndexStore:
         for name in wanted:
             if name not in version.artifacts:
                 continue
-            payload = self._artifact_payload(version, name)
-            source = str(self._root / version.artifacts[name])
+            path = self._root / version.artifacts[name]
+            source = str(path)
+            codec = get_codec(version.codec_of(name))
+            if lazy and name in ("tsd", "gct"):
+                index = codec.open_index(name, path)
+                if index is not None:
+                    if name == "tsd":
+                        tsd = index
+                    else:
+                        gct = index
+                    continue
+            payload = codec.load_payload(path)
             if name == "tsd":
                 tsd = TSDIndex.from_payload(payload, source=source)
             elif name == "gct":
@@ -461,6 +582,69 @@ class IndexStore:
                 scores = scores_from_payload(payload)
         return StoredIndexes(version=version, tsd=tsd, gct=gct,
                              hybrid=hybrid, scores=scores)
+
+    # ------------------------------------------------------------------
+    # Codec migration
+    # ------------------------------------------------------------------
+    def convert(self, to: str) -> int:
+        """Migrate every ``tsd``/``gct`` artifact to codec ``to`` in place.
+
+        Each physical file converts exactly once — carry-forward means
+        several version records can reference one relpath, and all of
+        them are rewired to the converted file.  New files are written
+        (tmp + :func:`os.replace`) before the manifest flips and the old
+        files are unlinked, so a crash mid-conversion leaves a readable
+        store: either the manifest still points at the old files, or it
+        points at complete new ones.  Returns the number of files
+        converted.
+        """
+        target = get_codec(to)
+        converted = 0
+        with self._locked():
+            graphs = self._manifest["graphs"]
+            # Pass 1: convert each unique referenced file once.
+            new_relpath: Dict[str, str] = {}  # old relpath -> new relpath
+            for key, entry in graphs.items():
+                for record in entry["versions"].values():
+                    codecs = record.get("codecs", {})
+                    for name in BINARY_NAMES:
+                        relpath = record.get(name)
+                        if relpath is None or relpath in new_relpath:
+                            continue
+                        current_codec = codecs.get(name, "json")
+                        if current_codec == target.name:
+                            continue
+                        path = self._root / relpath
+                        payload = get_codec(current_codec).load_payload(path)
+                        new_path = path.with_suffix("." + target.extension)
+                        target.write(new_path, payload, fingerprint=key)
+                        new_relpath[relpath] = str(
+                            new_path.relative_to(self._root))
+                        converted += 1
+            # Pass 2: rewire every record that references a converted file.
+            for entry in graphs.values():
+                for record in entry["versions"].values():
+                    codecs = dict(record.get("codecs", {}))
+                    for name in BINARY_NAMES:
+                        relpath = record.get(name)
+                        if relpath not in new_relpath:
+                            continue
+                        record[name] = new_relpath[relpath]
+                        if target.name == "json":
+                            codecs.pop(name, None)
+                        else:
+                            codecs[name] = target.name
+                    if codecs:
+                        record["codecs"] = codecs
+                    else:
+                        record.pop("codecs", None)
+            self._write_manifest()
+            for relpath in new_relpath:
+                try:
+                    (self._root / relpath).unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        return converted
 
     # ------------------------------------------------------------------
     # Compaction
@@ -555,6 +739,17 @@ class IndexStore:
                         reverse=True):
                     if not any(directory.iterdir()):
                         directory.rmdir()
+
+            # Rewrite surviving binary artifacts' pages: delta writes
+            # leave superseded record blocks dead in the heap, and only
+            # compaction reclaims them (the delta path is what keeps
+            # apply_updates from rewriting whole artifacts).
+            for relpath in sorted(referenced):
+                if not relpath.endswith(".bin"):
+                    continue
+                path = self._root / relpath
+                if path.is_file():
+                    reclaimed += compact_artifact(path)
 
             self._write_manifest()
             kept = sum(len(entry["versions"]) for entry in graphs.values())

@@ -144,6 +144,63 @@ class TestServeCommands:
         with pytest.raises(InvalidParameterError):
             main(["serve-warm", path, store, "--updates", "bogus"])
 
+    def test_serve_build_bin_codec_then_warm(self, figure1_file, tmp_path,
+                                             capsys):
+        path, v_id = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-build", path, store, "--codec", "bin"]) == 0
+        capsys.readouterr()
+        assert main(["serve-warm", path, store, "--queries", "4:1"]) == 0
+        out = capsys.readouterr().out
+        assert f"{v_id}:3" in out
+        assert "warm (from store)" in out
+
+
+class TestStoreCodecCommands:
+    @pytest.fixture
+    def built_store(self, figure1_file, tmp_path, capsys):
+        path, v_id = figure1_file
+        store = str(tmp_path / "store")
+        assert main(["serve-build", path, store]) == 0
+        capsys.readouterr()
+        return path, store, v_id
+
+    def test_convert_index_round_trip(self, built_store, capsys):
+        path, store, v_id = built_store
+        assert main(["convert-index", store, "--to", "bin"]) == 0
+        assert "converted 2 artifact file(s)" in capsys.readouterr().out
+        assert main(["serve-warm", path, store, "--queries", "4:1"]) == 0
+        out = capsys.readouterr().out
+        assert f"{v_id}:3" in out and "warm (from store)" in out
+        assert main(["convert-index", store, "--to", "json"]) == 0
+        capsys.readouterr()
+        assert main(["serve-warm", path, store, "--queries", "4:1"]) == 0
+        assert f"{v_id}:3" in capsys.readouterr().out
+
+    def test_store_inspect_root(self, built_store, capsys):
+        _, store, _ = built_store
+        assert main(["store-inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "graph lineage(s)" in out
+        assert "tsd[json" in out
+
+    def test_store_inspect_bin_artifact(self, built_store, capsys):
+        from pathlib import Path
+        _, store, _ = built_store
+        assert main(["convert-index", store, "--to", "bin"]) == 0
+        capsys.readouterr()
+        artifact = next(Path(store).rglob("tsd.bin"))
+        assert main(["store-inspect", str(artifact), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "num_vertices" in out and "17" in out
+        assert "checksum: ok" in out
+
+    def test_store_inspect_rejects_garbage(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.bin"
+        bogus.write_bytes(b"not an artifact")
+        assert main(["store-inspect", str(bogus)]) == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestSparsifyCommand:
     def test_sparsify(self, figure1_file, tmp_path, capsys):

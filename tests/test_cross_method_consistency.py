@@ -169,6 +169,27 @@ class TestPersistenceRoundTrip:
         with pytest.raises(IndexFormatError):
             HybridSearcher.load(other, tmp_path / "hybrid.json")
 
+    def test_binary_store_round_trip_rank_identical(self, tmp_path):
+        """The mmap-backed lazy indexes of a ``codec="bin"`` store obey
+        the canonical contract query-for-query against the online
+        baseline and the JSON store."""
+        from repro.service.store import IndexStore
+        g = tie_heavy_graph()
+        tsd = TSDIndex.build(g)
+        gct = GCTIndex.build(g)
+        json_store = IndexStore(tmp_path / "json")
+        bin_store = IndexStore(tmp_path / "bin", codec="bin")
+        json_store.put(g, tsd=tsd, gct=gct)
+        bin_store.put(g, tsd=tsd, gct=gct)
+        json_loaded = json_store.load(g)
+        bin_loaded = bin_store.load(g)
+        for k, r in self.KRS:
+            expected = _ranked(online_search(g, k, r))
+            assert _ranked(json_loaded.tsd.top_r(k, r)) == expected
+            assert _ranked(bin_loaded.tsd.top_r(k, r)) == expected, (k, r)
+            assert _ranked(json_loaded.gct.top_r(k, r)) == expected
+            assert _ranked(bin_loaded.gct.top_r(k, r)) == expected, (k, r)
+
 
 def _random_graph(n, p, seed):
     rng = random.Random(seed)

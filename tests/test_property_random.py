@@ -136,6 +136,23 @@ class TestDifferentialRankings:
             result = snapshot.top_r(k, r, collect_contexts=False)
             assert _canonical(result) == reference[(k, r)], (name, k, r)
 
+    def test_mmap_warm_start_serves_the_same_rankings(self, case,
+                                                      tmp_path_factory):
+        """A service warm-started from a ``codec="bin"`` store — lazy
+        mmap-backed indexes, no materialised forests — answers every
+        sweep query rank-identically to the online baseline."""
+        from repro.service import DiversityService
+        from repro.service.store import IndexStore
+        name, graph, reference = case
+        root = tmp_path_factory.mktemp(f"binstore-{name}")
+        DiversityService.start(graph, store=IndexStore(root, codec="bin"))
+        warm = DiversityService.start(graph,
+                                      store=IndexStore(root, codec="bin"))
+        assert warm.warm_started, name
+        for k, r in _sweep(graph):
+            result = warm.top_r(k, r, collect_contexts=False)
+            assert _canonical(result) == reference[(k, r)], (name, k, r)
+
     def test_cluster_wire_serves_the_same_rankings(self, case,
                                                    family_cluster):
         """End to end: worker process, HTTP, consistent-hash proxy —

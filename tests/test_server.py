@@ -317,7 +317,8 @@ class TestHTTPRoundTrip:
         client.top_r("cliques", k=3, r=5)
         client.top_r("cliques", k=4, r=5)
         assert client.persist_scores("cliques") == [3, 4]
-        loaded = router.store.load(router.service("cliques").snapshot.graph)
+        loaded = router.store.load(
+            router.service("cliques").snapshot.graph_view)
         assert sorted(loaded.scores) == [3, 4]
 
 

@@ -1,0 +1,506 @@
+"""The paged binary artifact format: round trips, errors, concurrency.
+
+Four contracts under test:
+
+* **Round trip.**  For every index in a seeded graph family, payload →
+  binary artifact → payload is the identity, and equals the JSON
+  round trip bit-for-bit — the binary codec may never change what an
+  index *says*, only how its bytes are laid out.
+* **Typed failures.**  A truncated, corrupt, or version-skewed artifact
+  raises :class:`~repro.errors.ArtifactFormatError` (a
+  :class:`~repro.errors.StoreError`), never a bare struct/IndexError.
+* **Laziness + LRU.**  The mmap reader decodes only touched records,
+  evicts beyond its cache budget, and stays correct when many threads
+  hammer eviction and re-query concurrently.
+* **Delta + compaction.**  ``write_delta`` supersedes only the changed
+  records (dead bytes accounted), ``compact_artifact`` reclaims them,
+  and the store's ``convert`` migrates lineages codec-to-codec in
+  place — all answer-preserving.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.gct import GCTIndex
+from repro.core.tsd import TSDIndex
+from repro.datasets.synthetic import add_planted_cliques, erdos_renyi
+from repro.errors import ArtifactFormatError, StoreError
+from repro.graph.graph import Graph
+from repro.storage import (
+    HEADER_SIZE,
+    ArtifactReader,
+    compact_artifact,
+    encode_artifact,
+    read_payload,
+    write_artifact,
+    write_delta,
+)
+from repro.storage.lazy import open_gct_artifact, open_tsd_artifact
+from repro.util.jsonio import dumps_payload
+
+
+def _family():
+    graphs = [("empty", Graph()),
+              ("noedges", Graph(vertices=range(5))),
+              ("triangle", Graph(edges=[(0, 1), (1, 2), (0, 2)]))]
+    for i, (n, p) in enumerate([(12, 0.3), (18, 0.25), (24, 0.2)]):
+        graphs.append((f"er{i}", erdos_renyi(n, p, seed=50 + i)))
+    for i, (n, p, sizes) in enumerate([(16, 0.1, [5]), (20, 0.12, [6, 4])]):
+        base = erdos_renyi(n, p, seed=70 + i)
+        graphs.append((f"pc{i}", add_planted_cliques(base, sizes,
+                                                     seed=90 + i)))
+    return graphs
+
+
+FAMILY = _family()
+
+
+@pytest.fixture(params=[name for name, _ in FAMILY])
+def graph(request):
+    return dict(FAMILY)[request.param]
+
+
+# ----------------------------------------------------------------------
+# Round trips: binary ≡ JSON, eager ≡ lazy
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_tsd_binary_round_trip_is_identity(self, graph, tmp_path):
+        payload = TSDIndex.build(graph).to_payload()
+        write_artifact(tmp_path / "tsd.bin", payload)
+        assert read_payload(tmp_path / "tsd.bin") == payload
+
+    def test_gct_binary_round_trip_is_identity(self, graph, tmp_path):
+        payload = GCTIndex.build(graph).to_payload()
+        write_artifact(tmp_path / "gct.bin", payload)
+        assert read_payload(tmp_path / "gct.bin") == payload
+
+    def test_binary_equals_json_round_trip(self, graph, tmp_path):
+        """The two codecs hand ``from_payload`` identical dicts."""
+        import json
+        for build, name in ((TSDIndex.build, "tsd"), (GCTIndex.build,
+                                                      "gct")):
+            payload = build(graph).to_payload()
+            json_path = tmp_path / f"{name}.json"
+            json_path.write_text(dumps_payload(payload), encoding="utf-8")
+            write_artifact(tmp_path / f"{name}.bin", payload)
+            assert (read_payload(tmp_path / f"{name}.bin")
+                    == json.loads(json_path.read_text(encoding="utf-8")))
+
+    def test_encode_is_deterministic(self, graph):
+        payload = TSDIndex.build(graph).to_payload(include_profile=False)
+        assert encode_artifact(payload) == encode_artifact(payload)
+
+    def test_lazy_indexes_rank_identically(self, graph, tmp_path):
+        """mmap-backed lazy indexes obey the canonical ranking contract
+        query-for-query against the in-memory builds."""
+        tsd = TSDIndex.build(graph)
+        gct = GCTIndex.build(graph)
+        write_artifact(tmp_path / "tsd.bin", tsd.to_payload())
+        write_artifact(tmp_path / "gct.bin", gct.to_payload())
+        lazy_tsd = open_tsd_artifact(tmp_path / "tsd.bin")
+        lazy_gct = open_gct_artifact(tmp_path / "gct.bin")
+        n = graph.num_vertices
+        for k in (2, 3, 4, 9):
+            for r in (1, 3, n + 5):
+                expected = tsd.top_r(k, r)
+                got = lazy_tsd.top_r(k, r)
+                assert got.vertices == expected.vertices, (k, r)
+                assert got.scores == expected.scores, (k, r)
+                expected = gct.top_r(k, r)
+                got = lazy_gct.top_r(k, r)
+                assert got.vertices == expected.vertices, (k, r)
+                assert got.scores == expected.scores, (k, r)
+
+    def test_lazy_index_to_payload_round_trips(self, graph, tmp_path):
+        payload = GCTIndex.build(graph).to_payload()
+        write_artifact(tmp_path / "gct.bin", payload)
+        assert open_gct_artifact(tmp_path / "gct.bin").to_payload() \
+            == payload
+
+    def test_tuple_labels_round_trip(self, tmp_path):
+        g = Graph(edges=[(("a", 1), ("b", 2)), (("b", 2), ("c", 3)),
+                         (("a", 1), ("c", 3))])
+        tsd = TSDIndex.build(g)
+        write_artifact(tmp_path / "tsd.bin", tsd.to_payload())
+        lazy = open_tsd_artifact(tmp_path / "tsd.bin")
+        assert lazy.score(("a", 1), 3) == tsd.score(("a", 1), 3)
+
+    def test_fingerprint_survives(self, tmp_path):
+        payload = TSDIndex.build(dict(FAMILY)["triangle"]).to_payload()
+        digest = "ab" * 32
+        write_artifact(tmp_path / "tsd.bin", payload, fingerprint=digest)
+        with ArtifactReader(tmp_path / "tsd.bin") as reader:
+            assert reader.fingerprint == digest
+
+
+# ----------------------------------------------------------------------
+# Typed failures
+# ----------------------------------------------------------------------
+class TestCorruptArtifacts:
+    @pytest.fixture
+    def artifact(self, tmp_path):
+        payload = TSDIndex.build(dict(FAMILY)["er1"]).to_payload()
+        path = tmp_path / "tsd.bin"
+        write_artifact(path, payload)
+        return path
+
+    def test_truncated_file_raises_typed_error(self, artifact):
+        data = artifact.read_bytes()
+        artifact.write_bytes(data[:len(data) // 2])
+        with pytest.raises(ArtifactFormatError):
+            ArtifactReader(artifact)
+
+    def test_shorter_than_header_raises(self, artifact):
+        artifact.write_bytes(artifact.read_bytes()[:HEADER_SIZE - 8])
+        with pytest.raises(ArtifactFormatError):
+            ArtifactReader(artifact)
+
+    def test_trailing_garbage_raises(self, artifact):
+        artifact.write_bytes(artifact.read_bytes() + b"xx")
+        with pytest.raises(ArtifactFormatError):
+            ArtifactReader(artifact)
+
+    def test_bad_magic_raises(self, artifact):
+        data = bytearray(artifact.read_bytes())
+        data[:4] = b"NOPE"
+        artifact.write_bytes(bytes(data))
+        with pytest.raises(ArtifactFormatError):
+            ArtifactReader(artifact)
+
+    def test_future_format_version_raises(self, artifact):
+        data = bytearray(artifact.read_bytes())
+        data[4:6] = (99).to_bytes(2, "little")
+        artifact.write_bytes(bytes(data))
+        with pytest.raises(ArtifactFormatError):
+            ArtifactReader(artifact)
+
+    def test_corrupt_payload_fails_checksum(self, artifact):
+        data = bytearray(artifact.read_bytes())
+        data[-1] ^= 0xFF  # flip one heap byte, keep the length
+        artifact.write_bytes(bytes(data))
+        reader = ArtifactReader(artifact)  # open succeeds: lazy verify
+        with pytest.raises(ArtifactFormatError):
+            reader.verify_checksum()
+        reader.close()
+
+    def test_errors_are_store_errors(self, artifact):
+        """The service layer catches StoreError; the binary format's
+        failures must be inside that hierarchy."""
+        artifact.write_bytes(b"garbage")
+        with pytest.raises(StoreError):
+            ArtifactReader(artifact)
+
+    def test_kind_mismatch_raises(self, artifact):
+        """Opening a TSD artifact through the GCT lazy maps is a typed
+        error, not garbage decoding."""
+        with pytest.raises(ArtifactFormatError):
+            open_gct_artifact(artifact)
+
+
+# ----------------------------------------------------------------------
+# Laziness and the LRU record cache
+# ----------------------------------------------------------------------
+class TestLazyReader:
+    @pytest.fixture
+    def pair(self, tmp_path):
+        graph = dict(FAMILY)["pc1"]
+        index = GCTIndex.build(graph)
+        path = tmp_path / "gct.bin"
+        write_artifact(path, index.to_payload())
+        return graph, index, path
+
+    def test_point_lookup_decodes_one_record(self, pair):
+        graph, index, path = pair
+        lazy = open_gct_artifact(path)
+        reader = lazy._supernodes.reader
+        v = next(iter(graph.vertices()))
+        assert lazy.score(v, 3) == index.score(v, 3)
+        # labels + at most the touched vertex's summary records.
+        assert reader.cache_len() <= 2
+
+    def test_eviction_then_requery_is_correct(self, pair):
+        graph, index, path = pair
+        reader = ArtifactReader(path, cache_records=4)
+        expected = {pos: reader.summary(pos)
+                    for pos in range(reader.num_vertices)}
+        assert reader.cache_len() <= 4  # evicted down to the budget
+        # Re-query everything in reverse: every answer must re-decode
+        # to the same value it had before eviction.
+        for pos in reversed(range(reader.num_vertices)):
+            assert reader.summary(pos) == expected[pos], pos
+        reader.close()
+
+    def test_concurrent_eviction_and_requery(self, pair):
+        """Many threads, a cache far smaller than the record count:
+        decode-outside-lock + LRU insert must never hand any thread a
+        wrong or torn record."""
+        graph, index, path = pair
+        reader = ArtifactReader(path, cache_records=3)
+        expected = {pos: reader.summary(pos)
+                    for pos in range(reader.num_vertices)}
+        errors = []
+
+        def worker(seed):
+            order = list(range(reader.num_vertices))
+            import random
+            random.Random(seed).shuffle(order)
+            for _ in range(20):
+                for pos in order:
+                    if reader.summary(pos) != expected[pos]:
+                        errors.append(pos)
+                        return
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert reader.cache_len() <= 3
+        reader.close()
+
+    def test_concurrent_lazy_service_queries(self, pair, tmp_path):
+        """The full lazy index under thread pressure: scores computed
+        through a tiny LRU match the eager index for every vertex."""
+        graph, index, path = pair
+        lazy = open_gct_artifact(path)
+        # Shrink both caches to force constant eviction.
+        lazy._supernodes.reader._cache.clear()
+        expected = {v: index.score(v, 3) for v in graph.vertices()}
+        mismatches = []
+
+        def worker():
+            for v, want in expected.items():
+                if lazy.score(v, 3) != want:
+                    mismatches.append(v)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not mismatches
+
+
+# ----------------------------------------------------------------------
+# Delta writes and page compaction
+# ----------------------------------------------------------------------
+class TestDeltaAndCompact:
+    def _payloads(self):
+        """Two same-vertex-set payloads differing in a few records."""
+        g1 = erdos_renyi(20, 0.35, seed=11)
+        g2 = g1.copy()
+        edge = next(iter(g1.edges()))
+        g2.remove_edge(*edge)
+        p1 = TSDIndex.build(g1).to_payload(include_profile=False)
+        p2 = TSDIndex.build(g2).to_payload(include_profile=False)
+        assert p1 != p2
+        return p1, p2, list(g1.vertices())
+
+    def test_delta_supersedes_only_changed_records(self, tmp_path):
+        p1, p2, vertices = self._payloads()
+        base = tmp_path / "v1.bin"
+        write_artifact(base, p1)
+        out = tmp_path / "v2.bin"
+        assert write_delta(base, out, p2, vertices) is True
+        with ArtifactReader(out) as reader:
+            assert reader.stats()["dead_bytes"] > 0
+            reader.verify_checksum()
+        assert read_payload(out) == p2
+        assert read_payload(base) == p1  # the base is untouched
+
+    def test_compact_reclaims_dead_bytes(self, tmp_path):
+        p1, p2, vertices = self._payloads()
+        base = tmp_path / "v1.bin"
+        out = tmp_path / "v2.bin"
+        write_artifact(base, p1)
+        write_delta(base, out, p2, vertices)
+        before = out.stat().st_size
+        reclaimed = compact_artifact(out)
+        assert reclaimed > 0
+        assert out.stat().st_size == before - reclaimed
+        with ArtifactReader(out) as reader:
+            assert reader.stats()["dead_bytes"] == 0
+            reader.verify_checksum()
+        assert read_payload(out) == p2
+        assert compact_artifact(out) == 0  # idempotent
+
+    def test_delta_refuses_changed_vertex_set(self, tmp_path):
+        p1, _, _ = self._payloads()
+        g3 = erdos_renyi(21, 0.3, seed=12)
+        p3 = TSDIndex.build(g3).to_payload(include_profile=False)
+        base = tmp_path / "v1.bin"
+        write_artifact(base, p1)
+        assert write_delta(base, tmp_path / "v2.bin", p3,
+                           list(g3.vertices())) is False
+
+    def test_delta_keeps_base_build_profile(self, tmp_path):
+        """A repaired index carries no build profile; the delta file
+        inherits the base's (the original build's provenance)."""
+        g = erdos_renyi(15, 0.4, seed=13)
+        full = TSDIndex.build(g).to_payload()
+        assert "build_profile" in full
+        base = tmp_path / "v1.bin"
+        write_artifact(base, full)
+        stripped = dict(full)
+        del stripped["build_profile"]
+        out = tmp_path / "v2.bin"
+        assert write_delta(base, out, stripped, list(g.vertices()))
+        assert read_payload(out)["build_profile"] \
+            == full["build_profile"]
+
+    def test_delta_refuses_missing_or_torn_base(self, tmp_path):
+        p1, p2, vertices = self._payloads()
+        assert write_delta(tmp_path / "absent.bin", tmp_path / "v2.bin",
+                           p2, vertices) is False
+        base = tmp_path / "v1.bin"
+        write_artifact(base, p1)
+        base.write_bytes(base.read_bytes()[:-10])  # torn
+        assert write_delta(base, tmp_path / "v2.bin", p2,
+                           vertices) is False
+
+
+# ----------------------------------------------------------------------
+# Store integration: codec plumbing, convert, manifest cache
+# ----------------------------------------------------------------------
+class TestStoreCodec:
+    @pytest.fixture
+    def graph(self):
+        return add_planted_cliques(erdos_renyi(18, 0.15, seed=21), [5],
+                                   seed=22)
+
+    def test_unknown_codec_is_typed(self, tmp_path):
+        from repro.service.store import IndexStore
+        with pytest.raises(StoreError):
+            IndexStore(tmp_path, codec="msgpack")
+
+    def test_bin_store_round_trip_matches_json(self, graph, tmp_path):
+        from repro.service.store import IndexStore
+        from repro.storage.lazy import LazyForestMap
+        tsd, gct = TSDIndex.build(graph), GCTIndex.build(graph)
+        jstore = IndexStore(tmp_path / "json")
+        bstore = IndexStore(tmp_path / "bin", codec="bin")
+        jstore.put(graph, tsd=tsd, gct=gct)
+        version = bstore.put(graph, tsd=tsd, gct=gct)
+        assert version.codec_of("tsd") == "bin"
+        assert version.codec_of("gct") == "bin"
+        jloaded = jstore.load(graph)
+        bloaded = bstore.load(graph)
+        assert isinstance(bloaded.tsd._forests, LazyForestMap)
+        n = graph.num_vertices
+        for k in (2, 3, 4):
+            for r in (1, 5, n + 3):
+                expected = jloaded.tsd.top_r(k, r)
+                got = bloaded.tsd.top_r(k, r)
+                assert (got.vertices, got.scores) \
+                    == (expected.vertices, expected.scores), (k, r)
+                expected = jloaded.gct.top_r(k, r)
+                got = bloaded.gct.top_r(k, r)
+                assert (got.vertices, got.scores) \
+                    == (expected.vertices, expected.scores), (k, r)
+
+    def test_lazy_false_materialises(self, graph, tmp_path):
+        from repro.service.store import IndexStore
+        store = IndexStore(tmp_path, codec="bin")
+        store.put(graph, tsd=TSDIndex.build(graph))
+        loaded = store.load(graph, lazy=False)
+        assert isinstance(loaded.tsd._forests, dict)
+
+    def test_convert_json_to_bin_and_back(self, graph, tmp_path):
+        from repro.service.store import IndexStore
+        store = IndexStore(tmp_path)
+        tsd, gct = TSDIndex.build(graph), GCTIndex.build(graph)
+        store.put(graph, tsd=tsd, gct=gct)
+        baseline = store.load(graph).tsd.top_r(3, 8)
+
+        assert IndexStore(tmp_path).convert("bin") == 2
+        store2 = IndexStore(tmp_path)
+        version = store2.current(graph)
+        assert version.codec_of("tsd") == "bin"
+        assert (store2.root / version.artifacts["tsd"]).suffix == ".bin"
+        got = store2.load(graph).tsd.top_r(3, 8)
+        assert (got.vertices, got.scores) \
+            == (baseline.vertices, baseline.scores)
+
+        assert IndexStore(tmp_path).convert("json") == 2
+        store3 = IndexStore(tmp_path)
+        version = store3.current(graph)
+        assert version.codec_of("tsd") == "json"
+        got = store3.load(graph).tsd.top_r(3, 8)
+        assert (got.vertices, got.scores) \
+            == (baseline.vertices, baseline.scores)
+        assert IndexStore(tmp_path).convert("json") == 0  # no-op
+
+    def test_convert_rewires_carried_forward_references(self, graph,
+                                                        tmp_path):
+        """Two versions sharing one carried-forward artifact file must
+        both point at the single converted file afterwards."""
+        from repro.service.store import IndexStore
+        store = IndexStore(tmp_path)
+        store.put(graph, tsd=TSDIndex.build(graph),
+                  gct=GCTIndex.build(graph))
+        store.put(graph, gct=GCTIndex.build(graph))  # tsd carried
+        assert IndexStore(tmp_path).convert("bin") == 3  # tsd once
+        store2 = IndexStore(tmp_path)
+        v1, v2 = store2.versions(store2.current(graph).key)
+        assert v1.artifacts["tsd"] == v2.artifacts["tsd"]
+        assert v2.codec_of("tsd") == "bin"
+        assert (store2.root / v2.artifacts["tsd"]).is_file()
+
+    def test_update_batch_delta_writes_under_bin(self, graph, tmp_path):
+        """The service's apply_updates path reaches write_delta: the
+        re-versioned artifact accounts dead bytes for the superseded
+        records and still round-trips every ranking."""
+        from repro.service import DiversityService
+        from repro.service.store import IndexStore
+        store = IndexStore(tmp_path, codec="bin")
+        service = DiversityService.start(graph, store=store)
+        edge = next(iter(graph.edges()))
+        service.apply_updates([("delete", edge[0], edge[1])])
+        version = store.current(service.snapshot.graph_view,
+                                key=service.snapshot.key)
+        with ArtifactReader(store.root / version.artifacts["tsd"]) as r:
+            assert r.stats()["dead_bytes"] > 0
+            r.verify_checksum()
+        after = service.top_r(3, graph.num_vertices)
+        warm = DiversityService.warm(service.snapshot.graph,
+                                     IndexStore(tmp_path))
+        got = warm.top_r(3, graph.num_vertices)
+        assert (got.vertices, got.scores) == (after.vertices, after.scores)
+
+    def test_store_compact_rewrites_bin_pages(self, graph, tmp_path):
+        from repro.service import DiversityService
+        from repro.service.store import IndexStore
+        store = IndexStore(tmp_path, codec="bin")
+        service = DiversityService.start(graph, store=store)
+        edge = next(iter(graph.edges()))
+        service.apply_updates([("delete", edge[0], edge[1])])
+        key = service.snapshot.key
+        IndexStore(tmp_path).compact(keep=[key])
+        store2 = IndexStore(tmp_path)
+        version = store2.current(service.snapshot.graph_view, key=key)
+        with ArtifactReader(store2.root / version.artifacts["tsd"]) as r:
+            assert r.stats()["dead_bytes"] == 0
+            r.verify_checksum()
+
+    def test_manifest_parse_cache_hits_on_unchanged_file(self, graph,
+                                                         tmp_path):
+        from repro.service.store import IndexStore
+        store = IndexStore(tmp_path)
+        store.put(graph, tsd=TSDIndex.build(graph))
+        first = store._read_manifest()
+        assert store._read_manifest() is first  # stamp unchanged: cached
+
+    def test_manifest_cache_sees_foreign_writes(self, graph, tmp_path):
+        """A second store instance committing to the same root must
+        invalidate the first instance's parse cache (mtime/size stamp)."""
+        from repro.service.store import IndexStore
+        store_a = IndexStore(tmp_path)
+        store_b = IndexStore(tmp_path)
+        store_a.put(graph, tsd=TSDIndex.build(graph))
+        other = erdos_renyi(9, 0.5, seed=33)
+        store_b.put(other, tsd=TSDIndex.build(other))
+        store_a.refresh()
+        assert store_a.has(other)
