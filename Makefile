@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: lint test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build smoke-mmap examples bench-planner bench-warm bench-server bench-cluster bench-build bench-mmap benchmarks
+.PHONY: lint test doctest check smoke-service smoke-server smoke-cluster smoke-parallel-build smoke-mmap smoke-chaos examples bench-planner bench-warm bench-server bench-cluster bench-build bench-mmap bench-replication benchmarks
 
 lint:           ## AST invariant checks (determinism, locks, exceptions, wire, ranking)
 	PYTHONPATH=src $(PY) -m repro.lint
@@ -35,6 +35,9 @@ smoke-parallel-build:  ## jobs=2 builds must byte-match serial builds
 smoke-mmap:     ## binary format: round-trips, corrupt artifacts, lazy LRU, delta/compact
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_storage.py
 
+smoke-chaos:    ## replication + fault injection: follower sync, rolling restarts, zero-503 moves, kill-during-update
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_replication.py tests/test_chaos.py
+
 examples:       ## every example script, executed (they assert their claims)
 	for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -58,6 +61,9 @@ bench-build:    ## index build: per-vertex vs shared pass vs worker pool
 
 bench-mmap:     ## store warm start: mmap vs JSON vs cold build (BENCH_mmap.json)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_mmap_warm_start.py --benchmark-disable
+
+bench-replication:  ## follower sync: delta shipping vs full mirror (BENCH_replication.json)
+	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_replication.py --benchmark-disable
 
 benchmarks:     ## full paper-reproduction report (slow)
 	PYTHONPATH=src $(PY) -m pytest -q benchmarks/bench_*.py --benchmark-disable

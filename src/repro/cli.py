@@ -20,6 +20,10 @@ usable without writing Python:
   named graphs (multi-graph routing, live updates, store compaction);
   ``--workers N`` shards the graphs across N supervised worker
   processes behind a consistent-hash router tier
+* ``repro replicate SRC DST``          — one follower-sync pass: mirror
+  an index-store root into a replica root (binary re-versions ship as
+  checksum-verified byte-range deltas); ``repro serve --workers N
+  --replicas M`` runs the same sync continuously per worker
 * ``repro convert-index STORE --to bin`` — migrate a store's tsd/gct
   artifacts between the json and bin codecs in place
 * ``repro store-inspect PATH``         — a ``.bin`` artifact's header and
@@ -275,6 +279,7 @@ def _cmd_serve_cluster(args: argparse.Namespace, pairs: List[tuple]) -> int:
     cluster = ShardedCluster(args.workers, store_root=args.store or None,
                              build_jobs=_jobs_value(args),
                              store_codec=args.codec, host=args.host,
+                             followers=args.replicas,
                              quiet=args.quiet)
     cluster.start(port=args.http)
     try:
@@ -285,8 +290,11 @@ def _cmd_serve_cluster(args: argparse.Namespace, pairs: List[tuple]) -> int:
                   f"({'warm' if answer['warm_started'] else 'cold'} start, "
                   f"worker {cluster.owner(name)})")
         base = cluster.url
+        replicas = (f", {args.replicas} follower cop"
+                    f"{'y' if args.replicas == 1 else 'ies'} per worker"
+                    if args.replicas else "")
         print(f"serving {len(pairs)} graph(s) on {base} "
-              f"across {args.workers} worker process(es)")
+              f"across {args.workers} worker process(es){replicas}")
         print(f"  GET  {base}/graphs/<name>/top_r?k=4&r=10")
         print(f"  GET  {base}/cluster")
         print(f"  GET  {base}/stats")
@@ -313,6 +321,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 0:
         print(f"error: --workers must be >= 0, got {args.workers}",
               file=sys.stderr)
+        return 1
+    if args.replicas < 0:
+        print(f"error: --replicas must be >= 0, got {args.replicas}",
+              file=sys.stderr)
+        return 1
+    if args.replicas and args.workers == 0:
+        print("error: --replicas needs the process-sharded cluster; "
+              "pass --workers N as well", file=sys.stderr)
         return 1
     if args.workers > 0:
         return _cmd_serve_cluster(args, pairs)
@@ -392,6 +408,20 @@ def _inspect_store(root: Path) -> int:
                 parts.append(f"{name}[{version.codec_of(name)}, "
                              f"{size:,}B]")
             print(f"    v{version.version}: {' '.join(parts)}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.errors import StoreError
+    from repro.replication import replicate_store
+    try:
+        report = replicate_store(args.source, args.dest,
+                                 keys=args.key or None, merge=args.merge)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.source} -> {args.dest}")
+    print(report.summary())
     return 0
 
 
@@ -588,11 +618,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "consistent-hash router tier (supervised restarts, "
                         "per-worker stores); 0 keeps the single-process "
                         "router (default: %(default)s)")
+    p.add_argument("--replicas", type=int, default=0, metavar="M",
+                   help="follower store copies per worker (needs "
+                        "--workers): a background thread keeps M replica "
+                        "roots per worker in sync, and a worker whose "
+                        "primary store root is lost restores from the "
+                        "newest valid replica at respawn "
+                        "(default: %(default)s)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
     _add_codec_flag(p)
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("replicate",
+                       help="one follower-sync pass: mirror an index "
+                            "store root into a replica root (byte-range "
+                            "deltas, checksum-verified)")
+    p.add_argument("source", help="primary store root (read-only)")
+    p.add_argument("dest",
+                   help="follower/replica root (created if missing)")
+    p.add_argument("--key", action="append", default=[], metavar="KEY",
+                   help="restrict the pass to one graph key; repeatable "
+                        "(default: every key)")
+    p.add_argument("--merge", action="store_true",
+                   help="keep the destination's existing lineages for "
+                        "keys the source does not carry (default: exact "
+                        "mirror of the selection)")
+    p.set_defaults(func=_cmd_replicate)
 
     p = sub.add_parser("convert-index",
                        help="migrate a store's tsd/gct artifacts between "

@@ -30,10 +30,24 @@ Responsibilities, in order of appearance:
   answer is exactly the single-process answer for the same graph
   (asserted end to end by ``tests/test_cluster.py``).
 
-What supervision does **not** restore: updates applied over the wire
-after registration.  A respawned worker re-serves the *registered*
-graph (warm from its store); replaying post-registration update streams
-is the replication/feed item on the roadmap.
+* **Replicate.**  With ``followers=N``, a replication thread mirrors
+  every worker's store root into ``N`` follower roots
+  (``<root>/worker<slot>-replica<f>``) via
+  :func:`repro.replication.sync.replicate_store` — binary re-versions
+  ship as byte-range deltas, every arrival checksum-verified.  When a
+  worker's *primary* store root is lost (disk death, simulated by
+  :meth:`destroy_worker_store`), the respawn seeds a fresh primary
+  from the newest valid replica before the worker comes up, so it
+  still warm-starts.
+* **Replay.**  The frontend journals every successfully relayed update
+  batch (:meth:`note_update`); a respawned worker gets its graph
+  registrations *and* the post-registration update stream replayed, so
+  recovery restores the graph as last served, not as registered.
+* **Move.**  :meth:`move_graph` hands a graph to another worker with
+  zero 503s: replicate the artifacts, register the target, replay the
+  journal, then close the graph's write gate only for the final
+  catch-up + pin flip (reads double-serve from the old owner until the
+  flip, writes stall for milliseconds instead of failing).
 
 Examples
 --------
@@ -54,12 +68,19 @@ import multiprocessing
 import shutil
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ClusterError, InvalidParameterError, ServerError
+from repro.errors import (
+    ClusterError,
+    InvalidParameterError,
+    ServerError,
+    StoreError,
+)
 from repro.graph.graph import Graph
 from repro.graph.io import graph_to_payload
+from repro.replication.sync import read_store_manifest, replicate_store
 from repro.server.client import ServerClient
 from repro.server.router import _NAME_PATTERN
 from repro.cluster.frontend import ClusterFrontend, serve_frontend
@@ -132,6 +153,15 @@ class ShardedCluster:
     restart_interval:
         Seconds between supervisor checks; also sizes the 503
         ``Retry-After`` hint.
+    followers:
+        Follower store copies per worker (>= 0).  With ``followers=N``
+        a background thread keeps ``N`` replica roots per slot in sync
+        (see :meth:`replicate_followers`); a lost primary store root is
+        then rebuilt from the newest valid replica at respawn.  Note
+        this is *store* replication — ``replicas=`` above is the
+        unrelated consistent-hash ring-point count.
+    replication_interval:
+        Seconds between follower sync passes.
     """
 
     def __init__(self, workers: int, *,
@@ -143,11 +173,17 @@ class ShardedCluster:
                  host: str = "127.0.0.1",
                  supervise: bool = True,
                  restart_interval: float = 0.5,
+                 followers: int = 0,
+                 replication_interval: float = 0.25,
                  spawn_timeout: float = 30.0,
                  quiet: bool = True) -> None:
         if workers < 1:
             raise ClusterError(f"a cluster needs >= 1 worker, got {workers}")
+        if followers < 0:
+            raise ClusterError(f"followers must be >= 0, got {followers}")
         self.shard_map = ShardMap(workers, replicas=replicas, pins=pins)
+        self.followers = followers
+        self.replication_interval = replication_interval
         self.build_jobs = build_jobs
         self.store_codec = store_codec
         self.host = host
@@ -163,6 +199,28 @@ class ShardedCluster:
             self._owns_store_root = False
         self._handles: List[Optional[_WorkerHandle]] = [None] * workers
         self._registrations: Dict[str, Dict[str, object]] = {}
+        #: Raw wire bodies of every successfully relayed update batch,
+        #: per graph, in relay order — the replay script that restores
+        #: a respawned worker (or a shard-move target) to *as last
+        #: served*, not merely *as registered*.  Compacting the journal
+        #: once followers have durably absorbed a prefix is roadmap
+        #: work; bodies are small (edge batches), so a serving window's
+        #: journal fits comfortably in memory.
+        self._update_journal: Dict[str, List[bytes]] = {}
+        #: Per-graph write gates.  The frontend holds a graph's gate
+        #: across each relayed write; a shard move's final catch-up
+        #: closes it while flipping the pin, which is what makes the
+        #: handoff lossless *and* 503-free (writes wait, reads never
+        #: gate — they double-serve from the old owner until the flip).
+        self._write_gates: Dict[str, threading.Lock] = {}
+        self._respawn_counts: List[int] = [0] * workers
+        #: Per-slot summary of the last follower sync pass.
+        self._replication_reports: Dict[int, Dict[str, object]] = {}
+        self.last_replication_error: Optional[str] = None
+        #: Fault-injection hook: seconds to sleep per replicated file
+        #: (a "slow follower"); the chaos harness sets it, sync passes
+        #: honour it through replicate_store's throttle callback.
+        self.replication_delay: float = 0.0
         # _lock guards only quick handle/registration reads and writes
         # (it sits on the frontend's per-request path via client_for);
         # _respawn_lock serialises whole respawn passes, whose probe /
@@ -170,9 +228,17 @@ class ShardedCluster:
         # routed requests to healthy workers.
         self._lock = threading.RLock()
         self._respawn_lock = threading.Lock()
+        # Serialises shard moves: two concurrent move_graph calls for
+        # any graphs could interleave their replicate/replay/flip
+        # phases against the same worker stores.
+        self._move_lock = threading.Lock()
+        self._replicator: Optional[threading.Thread] = None
         #: Last respawn failure (visible to operators via repr/debug);
         #: cleared by the next successful pass.
         self.last_respawn_error: Optional[str] = None
+        #: Last restore-from-replica note ("worker N: store restored
+        #: from ..."), kept until the next restore.
+        self.last_restore_note: Optional[str] = None
         self._frontend: Optional[ClusterFrontend] = None
         self._supervisor: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
@@ -196,6 +262,11 @@ class ShardedCluster:
                 target=self._supervise, name="repro-cluster-supervisor",
                 daemon=True)
             self._supervisor.start()
+        if self.followers > 0:
+            self._replicator = threading.Thread(
+                target=self._replicate_loop,
+                name="repro-cluster-replicator", daemon=True)
+            self._replicator.start()
         return self
 
     def stop(self) -> None:
@@ -205,6 +276,9 @@ class ShardedCluster:
         if self._supervisor is not None:
             self._supervisor.join(timeout=10)
             self._supervisor = None
+        if self._replicator is not None:
+            self._replicator.join(timeout=10)
+            self._replicator = None
         if self._frontend is not None:
             self._frontend.shutdown()
             self._frontend.server_close()
@@ -326,6 +400,9 @@ class ShardedCluster:
                     handle.client.close()
                     with self._lock:
                         self._handles[slot] = None
+                restored = self._restore_store_if_needed(slot)
+                if restored:
+                    self.last_restore_note = restored
                 try:
                     replacement = self._spawn(slot)
                 except ClusterError as exc:
@@ -346,17 +423,57 @@ class ShardedCluster:
                     continue
                 with self._lock:
                     self._handles[slot] = replacement
+                    self._respawn_counts[slot] += 1
                 restarted.append(slot)
         self.last_respawn_error = "; ".join(errors) or None
         return restarted
 
+    def _restore_store_if_needed(self, slot: int) -> Optional[str]:
+        """Seed a lost/unreadable primary store root from the newest
+        valid replica before a respawn (returns a note, or ``None``
+        when the primary was healthy or no replica could help).
+
+        No published handle exists for this slot while this runs, so
+        no concurrent sync pass can write the primary mid-restore.
+        Every restored artifact is checksum-verified by
+        :func:`replicate_store` — a corrupt replica is *refused* and
+        the next one tried; with none usable the worker cold-starts,
+        which is slow but never wrong.
+        """
+        if self.followers < 1:
+            return None
+        primary = self._store_root / f"worker{slot}"
+        try:
+            read_store_manifest(primary)
+            return None  # primary intact: normal warm start
+        except StoreError:
+            pass  # lost or unreadable: fall through to the replicas
+        for follower in range(self.followers):
+            replica = self.replica_root(slot, follower)
+            try:
+                report = replicate_store(replica, primary)
+            except StoreError:
+                continue  # missing/corrupt replica: try the next
+            return (f"worker {slot}: store restored from "
+                    f"{replica.name} ({report.summary()})")
+        return None  # cold start; registrations replay regardless
+
     def _replay_registrations(self, handle: _WorkerHandle) -> None:
+        """Re-register the slot's graphs, then replay their journaled
+        post-registration update batches (in relay order).
+
+        The journal snapshot cannot miss a batch: this slot has no
+        published handle while replay runs, so the frontend answers 503
+        for its graphs — no *new* update can be relayed (and journaled)
+        until the replayed worker is published.
+        """
         with self._lock:
             owned = [(name, spec)
                      for name, spec in self._registrations.items()
                      if self.shard_map.owner(name) == handle.slot]
         for name, spec in owned:
             handle.client._request("POST", "/admin/graphs", body=spec)
+            self._replay_journal(handle.client, name, 0)
 
     def note_worker_failure(self, slot: int) -> None:
         """Frontend hook: a request to this worker failed at the
@@ -379,9 +496,185 @@ class ShardedCluster:
             handle.process.join(timeout=10)
         return pid
 
+    def destroy_worker_store(self, slot: int) -> Path:
+        """Chaos hook: SIGKILL one worker **and** delete its primary
+        store root — the disk-died scenario.  Recovery must then come
+        from a follower replica (or a cold rebuild); returns the
+        removed root."""
+        self.kill_worker(slot)
+        root = self._store_root / f"worker{slot}"
+        shutil.rmtree(root, ignore_errors=True)
+        return root
+
     # ------------------------------------------------------------------
-    # Registration
+    # Follower replication
     # ------------------------------------------------------------------
+    def replica_root(self, slot: int, follower: int) -> Path:
+        """One follower copy's store root
+        (``<store_root>/worker<slot>-replica<follower>``)."""
+        return self._store_root / f"worker{slot}-replica{follower}"
+
+    def replicate_followers(self) -> Dict[int, Dict[str, object]]:
+        """One follower sync pass over every worker's store root.
+
+        Returns ``{slot: last-report-payload}``; per-slot failures are
+        recorded in :attr:`last_replication_error` (and retried next
+        pass) rather than raised — one slot's mid-compaction wobble
+        must not starve the rest of the fleet of fresh replicas.
+        """
+        throttle = None
+        if self.replication_delay > 0:
+            delay = self.replication_delay
+            throttle = lambda relpath: time.sleep(delay)  # noqa: E731
+        errors: List[str] = []
+        for slot in range(self.num_workers):
+            primary = self._store_root / f"worker{slot}"
+            try:
+                read_store_manifest(primary)
+            except StoreError:
+                continue  # nothing to replicate yet (or primary lost)
+            for follower in range(self.followers):
+                try:
+                    report = replicate_store(
+                        primary, self.replica_root(slot, follower),
+                        throttle=throttle)
+                except StoreError as exc:
+                    errors.append(
+                        f"worker {slot} replica {follower}: {exc}")
+                    continue
+                with self._lock:
+                    self._replication_reports[slot] = report.to_payload()
+        self.last_replication_error = "; ".join(errors) or None
+        with self._lock:
+            return dict(self._replication_reports)
+
+    def _replicate_loop(self) -> None:  # pragma: no cover - timing
+        while not self._stop_event.is_set():
+            self._stop_event.wait(self.replication_interval)
+            if self._stop_event.is_set():
+                return
+            try:
+                self.replicate_followers()
+            except Exception as exc:  # repro-lint: disable=RL003 -- a dead replicator means silently stale replicas; record and retry next tick
+                self.last_replication_error = \
+                    f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    # Update journal and write gates
+    # ------------------------------------------------------------------
+    def note_update(self, name: str, body: bytes) -> None:
+        """Frontend hook: journal one successfully relayed update body
+        (the replay script for respawns and shard moves)."""
+        with self._lock:
+            self._update_journal.setdefault(name, []).append(bytes(body))
+
+    def journal_length(self, name: str) -> int:
+        """Journaled batches for one graph (observability + tests)."""
+        with self._lock:
+            return len(self._update_journal.get(name, ()))
+
+    def write_gate(self, name: str) -> threading.Lock:
+        """The per-graph lock serialising relayed writes against a
+        shard move's final catch-up (created on first use)."""
+        with self._lock:
+            gate = self._write_gates.get(name)
+            if gate is None:
+                gate = threading.Lock()
+                self._write_gates[name] = gate
+            return gate
+
+    def _replay_journal(self, client: ServerClient, name: str,
+                        start: int) -> int:
+        """POST journal entries ``[start:]`` for one graph to a worker;
+        returns the new journal position (= entries now applied)."""
+        with self._lock:
+            pending = list(self._update_journal.get(name, ()))[start:]
+        for body in pending:
+            status, payload = client.request_raw(
+                "POST", f"/graphs/{name}/updates", body=body,
+                headers={"Content-Type": "application/json"})
+            if status >= 400:
+                raise ClusterError(
+                    f"replaying an update batch to graph {name!r} "
+                    f"failed with status {status}: "
+                    f"{payload[:200].decode('utf-8', 'replace')}")
+        return start + len(pending)
+
+    # ------------------------------------------------------------------
+    # Shard handoff
+    # ------------------------------------------------------------------
+    def move_graph(self, name: str, target: int, *,
+                   drain_seconds: float = 0.2) -> Dict[str, object]:
+        """Hand one graph to another worker with zero 503s.
+
+        The drain/double-serve protocol:
+
+        1. **Replicate** the source worker's store into the target's
+           (``merge=True`` — the target keeps its own graphs), so the
+           target can warm-start the graph.
+        2. **Register** the graph on the target (idempotent admin
+           endpoint) and **replay** the journaled update stream while
+           the source keeps serving reads *and* writes.
+        3. **Flip** under the graph's write gate: with writes briefly
+           parked (not failed), replay whatever landed since step 2,
+           then pin the graph to the target.  Gated writes resume
+           against the new owner; reads were never blocked at all —
+           they double-serve from the source until the flip.
+        4. **Drain**: after ``drain_seconds`` (covering requests that
+           resolved the old owner just before the flip), deregister the
+           graph from the source, which keeps answering in-flight reads
+           until then.
+
+        The store merge in step 1 assumes the *target's own* graphs are
+        not mid-write during the brief manifest merge; move graphs in a
+        write lull (reads are unrestricted throughout).
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before moving graphs")
+        if not 0 <= target < self.num_workers:
+            raise ClusterError(
+                f"cannot move {name!r} to worker {target}: have "
+                f"{self.num_workers} worker(s)")
+        with self._lock:
+            if name not in self._registrations:
+                raise ClusterError(f"no graph named {name!r} is registered")
+        with self._move_lock:
+            source = self.shard_map.owner(name)
+            if source == target:
+                return {"graph": name, "source": source, "target": target,
+                        "moved": False}
+            target_client = self.client_for(target)
+            if target_client is None:
+                raise ClusterError(
+                    f"cannot move {name!r}: target worker {target} is down")
+            try:
+                replicate_store(self._store_root / f"worker{source}",
+                                self._store_root / f"worker{target}",
+                                merge=True)
+            except StoreError:
+                # No readable source store (e.g. an all-JSON fleet that
+                # never persisted): the target cold-builds at
+                # registration instead of warm-starting.  Correctness
+                # comes from registration + journal replay either way.
+                pass
+            with self._lock:
+                spec = dict(self._registrations[name])
+            target_client._request("POST", "/admin/graphs", body=spec)
+            position = self._replay_journal(target_client, name, 0)
+            gate = self.write_gate(name)
+            with gate:
+                # Writes are parked here (frontend relays hold this
+                # gate); catch up on what landed since, then flip.
+                self._replay_journal(target_client, name, position)
+                self.shard_map.pin(name, target)
+            time.sleep(drain_seconds)
+            source_client = self.client_for(source)
+            if source_client is not None:
+                # Best-effort: a dead source has nothing to deregister.
+                source_client._request("POST", "/admin/graphs/remove",
+                                       body={"name": name})
+            return {"graph": name, "source": source, "target": target,
+                    "moved": True}
     def add_graph(self, name: str, graph: Optional[Graph] = None,
                   path=None) -> Dict[str, object]:
         """Register a graph on its owning worker.
@@ -475,6 +768,26 @@ class ShardedCluster:
         """Directory holding the per-worker IndexStore roots."""
         return self._store_root
 
+    def supervision_payload(self) -> Dict[str, object]:
+        """Recovery observability: per-worker respawn counts, the last
+        respawn failure, and (with followers) replication state.
+        Surfaced through the frontend's ``/healthz`` and ``/stats``."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "respawns": list(self._respawn_counts),
+                "respawns_total": sum(self._respawn_counts),
+                "last_respawn_error": self.last_respawn_error,
+            }
+            if self.followers:
+                payload["followers"] = self.followers
+                payload["last_replication_error"] = \
+                    self.last_replication_error
+                payload["last_restore_note"] = self.last_restore_note
+                payload["replication"] = {
+                    str(slot): report for slot, report
+                    in sorted(self._replication_reports.items())}
+            return payload
+
     def topology_payload(self) -> Dict[str, object]:
         """The ``GET /cluster`` body: who serves what, from where."""
         with self._lock:
@@ -498,6 +811,7 @@ class ShardedCluster:
                 "pins": self.shard_map.pins,
                 "supervised": self.supervise,
                 "restart_interval": self.restart_interval,
+                "followers": self.followers,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -112,7 +112,7 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
     def _route(self, method: str, segments: List[str],
                body: bytes) -> bool:
         if len(segments) >= 2 and segments[0] == "graphs":
-            self._proxy(method, segments[1], body)
+            self._proxy(method, segments[1], segments[2:], body)
             return True
         if method == "GET" and len(segments) == 1 \
                 and segments[0] in _FANOUT_GET:
@@ -124,8 +124,25 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
         return False
 
     # -- routed proxy --------------------------------------------------
-    def _proxy(self, method: str, name: str, body: bytes) -> None:
+    def _proxy(self, method: str, name: str, rest: List[str],
+               body: bytes) -> None:
+        if method == "GET":
+            self._proxy_resolved(method, name, rest, body)
+            return
+        # Writes serialise through the graph's gate: a shard move's
+        # final catch-up closes it while replaying the journal tail and
+        # flipping the pin, so no write can land on the old owner after
+        # the tail was captured — and mid-move writes *wait* (for
+        # milliseconds) instead of failing.  Reads never gate: they
+        # double-serve from the old owner until the flip.
+        with self.cluster.write_gate(name):
+            self._proxy_resolved(method, name, rest, body)
+
+    def _proxy_resolved(self, method: str, name: str, rest: List[str],
+                        body: bytes) -> None:
         cluster = self.cluster
+        # Owner resolved *after* any gate acquisition: a write that
+        # waited out a shard move must go to the new owner.
         slot = cluster.owner(name)
         client = cluster.client_for(slot)
         if client is None:
@@ -140,9 +157,40 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
                 method, self.path, body=body or None, headers=headers)
         except ServerError:
             cluster.note_worker_failure(slot)
-            self._worker_down(name, slot)
-            return
+            retried = self._fast_retry(method, slot, body, headers)
+            if retried is None:
+                self._worker_down(name, slot)
+                return
+            status, payload = retried
+        if method == "POST" and rest == ["updates"] and status == 200:
+            # Journaled only after the owner confirmed the apply — the
+            # journal replays exactly what the fleet acknowledged.
+            cluster.note_update(name, body)
         self._relay(status, payload)
+
+    def _fast_retry(self, method: str, slot: int, body: bytes,
+                    headers: Dict[str, str]
+                    ) -> Optional[Tuple[int, bytes]]:
+        """One immediate re-probe of the owner after a connection-level
+        relay failure, before conceding 503.
+
+        Covers the commonest non-failure: the worker recycled an idle
+        keep-alive socket (or was respawned between requests) and a
+        fresh connection succeeds instantly.  Only idempotent ``GET``s
+        re-send — a ``POST`` may have been mid-apply when the socket
+        died, and re-sending could double-apply a batch.
+        """
+        if method != "GET":
+            return None
+        client = self.cluster.client_for(slot)
+        if client is None:
+            return None
+        try:
+            return client.request_raw(method, self.path,
+                                      body=body or None, headers=headers)
+        except ServerError:
+            self.cluster.note_worker_failure(slot)
+            return None
 
     def _worker_down(self, name: str, slot: int) -> None:
         retry = self.cluster.retry_after_seconds
@@ -190,12 +238,15 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
     def _fan_healthz(self) -> None:
         answers, down, errors = self._fan_out(lambda client:
                                               client.healthz())
+        supervision = self.cluster.supervision_payload()
         self._respond(200, self._flag_errors({
             "status": "ok" if not down and not errors else "degraded",
             "graphs": sum(payload["graphs"] for _, payload in answers),
             "workers": self.cluster.num_workers,
             "workers_alive": len(answers),
             "workers_down": sorted(down),
+            "respawns": supervision["respawns"],
+            "last_respawn_error": supervision["last_respawn_error"],
         }, errors))
 
     def _fan_graphs(self) -> None:
@@ -230,6 +281,7 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
             "updates_total": sum(w["updates_total"] for w in workers),
             "workers": workers,
             "workers_down": sorted(down),
+            "supervision": self.cluster.supervision_payload(),
         }, errors))
 
     def _fan_compact(self) -> None:

@@ -90,6 +90,20 @@ class WorkerRequestHandler(DiversityRequestHandler):
                 service = router.add_graph(name, load_graph_spec(body))
             self._respond(200, dict(service.stats_payload(), name=name))
             return True
+        if method == "POST" and rest == ["graphs", "remove"]:
+            # Shard-handoff drain: the cluster deregisters a moved
+            # graph from its old owner once the pin points elsewhere.
+            # Idempotent — removing an unknown name reports removed
+            # False instead of erroring, so a retried drain is safe.
+            body = self._read_body()
+            if not isinstance(body, dict) or "name" not in body:
+                raise InvalidParameterError('expected {"name": ..}')
+            name = body["name"]
+            removed = name in router
+            if removed:
+                router.remove_graph(name)
+            self._respond(200, {"name": name, "removed": removed})
+            return True
         if method == "GET" and rest == ["info"]:
             server = self.server
             self._respond(200, {

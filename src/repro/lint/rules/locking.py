@@ -84,10 +84,15 @@ STATE_GUARDS: Dict[str, StateGuard] = {
         locks=("self._pool_lock",), attrs=("_pool",)),
     "cluster/cluster.py": _guard(
         locks=("self._lock", "self._respawn_lock"),
-        attrs=("_handles", "_registrations")),
+        attrs=("_handles", "_registrations", "_update_journal",
+               "_write_gates", "_respawn_counts",
+               "_replication_reports")),
     "storage/reader.py": _guard(
         locks=("self._lock",),
         attrs=("_cache", "_labels")),
+    "replication/feed.py": _guard(
+        locks=("self._cond",),
+        attrs=("_entries", "_last", "_floor")),
 }
 
 
@@ -122,7 +127,8 @@ class LockDisciplineRule(Rule):
     invariant = ("single-writer store and serving tier: shared state "
                  "mutates under its lock; durable writes are "
                  "tmp + os.replace")
-    scope = ("service/store.py", "server/", "cluster/", "storage/")
+    scope = ("service/store.py", "service/lock.py", "server/",
+             "cluster/", "storage/", "replication/")
     visits = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete,
               ast.Call)
 

@@ -1,0 +1,36 @@
+"""Replication: follower store sync, update feeds, fault injection.
+
+The cluster's failover story (PR 9) lives here:
+
+* :mod:`repro.replication.sync` — replicate an
+  :class:`~repro.service.IndexStore` root to a follower root,
+  shipping binary delta re-versions as byte ranges (header + offset
+  dictionary + appended heap tail) instead of whole artifacts.
+* :mod:`repro.replication.feed` — a long-pollable journal of applied
+  update batches, served as ``GET /graphs/<name>/updates/feed`` and
+  replayed at respawned workers and shard-move targets.
+* :mod:`repro.replication.faults` — seeded, deterministic fault
+  injectors (worker kill, hung socket, corrupt replica bytes, slow
+  follower) driving the chaos tests.
+"""
+
+from repro.replication.faults import FaultInjector, HungSocket, corrupt_file
+from repro.replication.feed import FeedEntry, UpdateFeed
+from repro.replication.sync import (
+    ReplicationReport,
+    read_store_manifest,
+    replicate_store,
+    verify_artifact,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FeedEntry",
+    "HungSocket",
+    "ReplicationReport",
+    "UpdateFeed",
+    "corrupt_file",
+    "read_store_manifest",
+    "replicate_store",
+    "verify_artifact",
+]

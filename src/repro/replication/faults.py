@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the cluster's chaos tests.
+
+Robustness claims rot unless they are *exercised*: this module stages
+the failures the replication and supervision machinery promises to
+survive — worker death, lost disks, corrupt replica bytes, hung
+sockets, slow followers — as **seeded, reproducible** operations.  A
+chaos test that fails replays byte-for-byte from its seed; there is no
+"flaky, reran, green" state.
+
+Everything here either delegates to a cluster chaos hook
+(:meth:`~repro.cluster.ShardedCluster.kill_worker`,
+:meth:`~repro.cluster.ShardedCluster.destroy_worker_store`,
+``replication_delay``) or damages files the way real failures do
+(in-place byte flips, truncation) — deliberately *without* the
+tmp + ``os.replace`` idiom, because torn files are the point.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ClusterError
+from repro.storage.format import HEADER_SIZE
+
+
+def corrupt_file(path, seed: int, mode: str = "flip") -> str:
+    """Deterministically damage one file; returns what was done.
+
+    ``mode="flip"`` XORs one body byte (position chosen by ``seed``) —
+    the bit-rot a checksum must catch.  ``mode="truncate"`` cuts the
+    file to a seed-chosen prefix — the torn-write / partial-copy case.
+    Binary artifacts keep their header intact so the damage is only
+    detectable by *verifying*, not by parsing.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    rng = random.Random(seed)
+    floor = min(HEADER_SIZE, max(size - 1, 0))
+    if mode == "flip":
+        if size == 0:
+            raise ValueError(f"cannot corrupt empty file {path}")
+        position = rng.randrange(floor, size)
+        # In-place on purpose (no tmp + os.replace): simulating bit
+        # rot inside an existing file, not publishing a new one.
+        fd = os.open(path, os.O_WRONLY)
+        try:
+            os.lseek(fd, position, os.SEEK_SET)
+            original = path.read_bytes()[position]
+            os.write(fd, bytes([original ^ 0xFF]))
+        finally:
+            os.close(fd)
+        return f"flipped byte {position} of {path.name}"
+    if mode == "truncate":
+        keep = rng.randrange(floor, max(size, floor + 1))
+        os.truncate(path, keep)
+        return f"truncated {path.name} to {keep}/{size} bytes"
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+class HungSocket:
+    """A listener that accepts connections and never answers.
+
+    The deadline/retry machinery's worst case: not a refused
+    connection (instant error) but a server that takes the request and
+    goes silent.  Use as a context manager; ``port`` is where it
+    listens.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self._host = host
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, 0))
+        self._server.listen(16)
+        self.port = self._server.getsockname()[1]
+        self._accepted: List[socket.socket] = []
+        self._accepted_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="repro-hung-socket",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        """A base URL a :class:`ServerClient` can point at."""
+        return f"http://{self._host}:{self.port}"
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                connection, _ = self._server.accept()
+            except OSError:
+                return  # listener closed
+            # Hold the connection open, read nothing, send nothing.
+            with self._accepted_lock:
+                self._accepted.append(connection)
+
+    def close(self) -> None:
+        """Release the listener and every held connection."""
+        self._closed.set()
+        self._server.close()
+        with self._accepted_lock:
+            held, self._accepted = self._accepted, []
+        for connection in held:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "HungSocket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FaultInjector:
+    """Seeded driver of cluster failures.
+
+    One instance per chaos test; every choice (which worker dies next,
+    which replica file rots, where the flip lands) comes from its own
+    :class:`random.Random`, so the whole failure schedule replays from
+    the seed.
+    """
+
+    def __init__(self, cluster, seed: int) -> None:
+        self.cluster = cluster
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: Human-readable ledger of everything injected, in order —
+        #: printed by failing tests so a red run is diagnosable.
+        self.log: List[str] = []
+
+    def _note(self, what: str) -> str:
+        self.log.append(what)
+        return what
+
+    # -- process faults ------------------------------------------------
+    def rolling_restart_order(self) -> List[int]:
+        """Every worker slot once, in a seed-shuffled order."""
+        order = list(range(self.cluster.num_workers))
+        self.rng.shuffle(order)
+        return order
+
+    def kill_worker(self, slot: Optional[int] = None) -> int:
+        """SIGKILL one worker (seed-chosen when ``slot`` is None);
+        returns the slot killed."""
+        if slot is None:
+            live = [candidate for candidate, client
+                    in self.cluster.live_clients() if client is not None]
+            if not live:
+                raise ClusterError("no live worker to kill")
+            slot = self.rng.choice(live)
+        pid = self.cluster.kill_worker(slot)
+        self._note(f"killed worker {slot} (pid {pid})")
+        return slot
+
+    def destroy_store(self, slot: Optional[int] = None) -> int:
+        """Kill a worker *and* delete its primary store root (the
+        disk-died scenario); returns the slot."""
+        if slot is None:
+            live = [candidate for candidate, client
+                    in self.cluster.live_clients() if client is not None]
+            if not live:
+                raise ClusterError("no live worker to destroy")
+            slot = self.rng.choice(live)
+        root = self.cluster.destroy_worker_store(slot)
+        self._note(f"killed worker {slot} and destroyed {root}")
+        return slot
+
+    # -- data faults ---------------------------------------------------
+    def corrupt_replica(self, slot: int, follower: int = 0,
+                        mode: str = "flip") -> Optional[str]:
+        """Damage one seed-chosen binary artifact in a replica root;
+        returns the note (``None`` when the replica has no binaries)."""
+        root = self.cluster.replica_root(slot, follower)
+        artifacts = sorted(root.glob("objects/**/*.bin"))
+        if not artifacts:
+            return None
+        victim = artifacts[self.rng.randrange(len(artifacts))]
+        note = corrupt_file(victim, self.rng.randrange(2 ** 31),
+                            mode=mode)
+        return self._note(f"replica {slot}/{follower}: {note}")
+
+    # -- timing faults -------------------------------------------------
+    def slow_follower(self, delay: float) -> None:
+        """Throttle replication to ``delay`` seconds per file (0 to
+        restore full speed)."""
+        self.cluster.replication_delay = delay
+        self._note(f"replication delay set to {delay}s")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultInjector(seed={self.seed}, "
+                f"injected={len(self.log)})")

@@ -1,0 +1,158 @@
+"""The streaming update feed: a long-pollable journal of applied batches.
+
+The cluster's recovery paths all need the same primitive: *what
+happened to this graph after time T?*  A respawned worker warm-starts
+the graph as registered, then replays everything applied since; a
+shard-move target catches up to the old owner before taking the pin;
+a follower tails the feed to know when a sync pass is worth running.
+
+:class:`UpdateFeed` is that primitive — per graph, an append-only
+sequence of :class:`FeedEntry` records (monotonic ``seq`` starting at
+1), bounded by ``capacity``.  Consumers poll :meth:`since` (or
+long-poll :meth:`wait`) with the last ``seq`` they have; the answer
+says whether the feed still covers that point (``complete``) — when
+old entries have been dropped, the consumer must fall back to a full
+resync (store replication) instead of replay.
+
+Thread-safe; the condition variable doubles as the lock guarding the
+journal, so long-pollers wake exactly when their graph advances.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: One applied update over the wire: ``(op, u, v)``.
+WireUpdate = Tuple[str, object, object]
+
+
+@dataclass(frozen=True)
+class FeedEntry:
+    """One applied update batch, as consumers replay it."""
+
+    seq: int
+    graph: str
+    updates: Tuple[WireUpdate, ...]
+    #: Snapshot/store version after applying (``None`` without a store).
+    version: Optional[int] = None
+    #: The batch's ``UpdateReport`` facts (JSON-able), when known.
+    report: Optional[Dict[str, object]] = None
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able form (one element of the feed endpoint's body)."""
+        payload: Dict[str, object] = {
+            "seq": self.seq,
+            "graph": self.graph,
+            "updates": [[op, u, v] for op, u, v in self.updates],
+        }
+        if self.version is not None:
+            payload["version"] = self.version
+        if self.report is not None:
+            payload["report"] = self.report
+        return payload
+
+
+def entry_from_payload(payload: Dict[str, object]) -> FeedEntry:
+    """Decode one wire entry (tuple labels arrive as lists, as in
+    ``repro.server.http._coerce_updates``)."""
+    updates = tuple(
+        (op,
+         tuple(u) if isinstance(u, list) else u,
+         tuple(v) if isinstance(v, list) else v)
+        for op, u, v in payload["updates"])
+    return FeedEntry(seq=int(payload["seq"]), graph=str(payload["graph"]),
+                     updates=updates, version=payload.get("version"),
+                     report=payload.get("report"))
+
+
+class UpdateFeed:
+    """Bounded per-graph journal of applied update batches.
+
+    ``capacity`` bounds each graph's retained entries; overflow drops
+    the oldest and marks the feed *incomplete* below the new floor, so
+    a consumer that slept too long learns to resync instead of
+    silently replaying a gapped stream.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        # The condition's own lock guards all three maps; holding it is
+        # what makes append's notify_all wake long-pollers race-free.
+        self._cond = threading.Condition()
+        self._entries: Dict[str, List[FeedEntry]] = {}
+        self._last: Dict[str, int] = {}   # graph -> newest seq (0 = none)
+        self._floor: Dict[str, int] = {}  # graph -> seqs <= floor dropped
+
+    def append(self, graph: str, updates: Sequence[WireUpdate],
+               version: Optional[int] = None,
+               report: Optional[Dict[str, object]] = None) -> FeedEntry:
+        """Journal one applied batch; wakes every long-poller."""
+        with self._cond:
+            seq = self._last.get(graph, 0) + 1
+            entry = FeedEntry(
+                seq=seq, graph=graph,
+                updates=tuple((op, u, v) for op, u, v in updates),
+                version=version,
+                report=dict(report) if report is not None else None)
+            bucket = self._entries.setdefault(graph, [])
+            bucket.append(entry)
+            self._last[graph] = seq
+            overflow = len(bucket) - self._capacity
+            if overflow > 0:
+                del bucket[:overflow]
+                self._floor[graph] = bucket[0].seq - 1
+            self._cond.notify_all()
+        return entry
+
+    def last_seq(self, graph: str) -> int:
+        """The newest journaled ``seq`` for a graph (0 when none)."""
+        with self._cond:
+            return self._last.get(graph, 0)
+
+    def since(self, graph: str, seq: int
+              ) -> Tuple[List[FeedEntry], int, bool]:
+        """Entries newer than ``seq``: ``(entries, last_seq, complete)``.
+
+        ``complete`` is ``False`` when entries at or below ``seq`` have
+        already been dropped *past* the requested point — the stream
+        has a gap and replay from ``seq`` would silently skip batches.
+        """
+        with self._cond:
+            return self._since_locked(graph, seq)
+
+    def wait(self, graph: str, seq: int, timeout: float
+             ) -> Tuple[List[FeedEntry], int, bool]:
+        """Long-poll :meth:`since`: block up to ``timeout`` seconds for
+        the graph to advance past ``seq`` (returns immediately when it
+        already has, or when the feed below ``seq`` is gone)."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._last.get(graph, 0) > seq
+                or self._floor.get(graph, 0) > seq,
+                timeout=timeout)
+            return self._since_locked(graph, seq)
+
+    def _since_locked(self, graph: str, seq: int
+                      ) -> Tuple[List[FeedEntry], int, bool]:
+        last = self._last.get(graph, 0)
+        complete = seq >= self._floor.get(graph, 0)
+        entries = [entry for entry in self._entries.get(graph, ())
+                   if entry.seq > seq]
+        return entries, last, complete
+
+    def drop(self, graph: str) -> None:
+        """Forget one graph's journal (deregistration)."""
+        with self._cond:
+            self._entries.pop(graph, None)
+            self._last.pop(graph, None)
+            self._floor.pop(graph, None)
+            self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._cond:
+            return (f"UpdateFeed(graphs={len(self._entries)}, "
+                    f"capacity={self._capacity})")

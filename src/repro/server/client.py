@@ -36,10 +36,12 @@ Examples
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlencode, urlsplit
 
@@ -53,8 +55,29 @@ WireUpdate = Tuple[str, object, object]
 #: keep-alive socket at any time, so one retry on a fresh connection is
 #: the standard (and safe — nothing was processed) recovery.
 _STALE_ERRORS = (http.client.BadStatusLine, http.client.CannotSendRequest,
-                 http.client.ResponseNotReady, ConnectionResetError,
-                 ConnectionAbortedError, BrokenPipeError)
+                 http.client.ResponseNotReady, http.client.IncompleteRead,
+                 ConnectionResetError, ConnectionAbortedError,
+                 BrokenPipeError)
+
+#: Statuses worth another idempotent attempt: the cluster frontend
+#: answers 503 (with Retry-After) while a dead worker respawns, and a
+#: reverse proxy says 502 for the same transient condition.
+_RETRIABLE_STATUSES = (502, 503)
+
+#: Backoff pauses never exceed this, whatever the attempt count.
+_MAX_BACKOFF = 2.0
+
+
+def _retry_jitter(token: str, attempt: int) -> float:
+    """Deterministic jitter in ``[0, 1)`` for one retry of one request.
+
+    Derived from a hash, not the RNG: retry schedules must not depend
+    on (or disturb) any seeded experiment randomness, yet distinct
+    requests still decorrelate so a fleet of retrying clients does not
+    stampede a respawning worker in lockstep.
+    """
+    digest = hashlib.sha256(f"{token}#{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") / 2 ** 32
 
 
 class ServerClient:
@@ -66,9 +89,25 @@ class ServerClient:
         Server root, e.g. ``http://127.0.0.1:8080``.
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Extra attempts for **idempotent** requests (``GET``/``HEAD``)
+        that fail at the connection level or answer a retriable 5xx
+        (502/503 — the frontend's "worker respawning" signal).  Writes
+        are never re-sent at this layer.  Default 0: one attempt, the
+        historical behaviour.
+    retry_backoff:
+        Base pause before retry *n* is ``retry_backoff * 2**n`` seconds
+        (capped at 2s), scaled by a deterministic per-request jitter in
+        ``[0.5, 1.0)``.
+    deadline:
+        Optional per-request wall-clock budget in seconds.  Retrying
+        stops once the next pause would cross it; the last failure is
+        then surfaced as-is.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 0, retry_backoff: float = 0.05,
+                 deadline: Optional[float] = None) -> None:
         self._base = base_url.rstrip("/")
         parts = urlsplit(self._base)
         if parts.scheme not in ("http", ""):
@@ -80,6 +119,9 @@ class ServerClient:
         # must survive the transport: requests go to <prefix><path>.
         self._prefix = parts.path.rstrip("/")
         self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._retry_backoff = retry_backoff
+        self._deadline = deadline
         self._pool: List[http.client.HTTPConnection] = []
         self._pool_lock = threading.Lock()
         #: Sockets this client has opened over its lifetime.  With
@@ -174,8 +216,8 @@ class ServerClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        status, payload = self.request_raw(method, path, body=data,
-                                           headers=headers)
+        status, payload = self._request_with_retries(method, path, data,
+                                                     headers)
         if status >= 400:
             raise ServerError(status, self._error_message(payload, status))
         try:
@@ -183,6 +225,43 @@ class ServerClient:
         except ValueError as exc:
             raise ServerError(status, f"non-JSON response body: {exc}") \
                 from exc
+
+    def _request_with_retries(self, method: str, path: str,
+                              data: Optional[bytes],
+                              headers: Dict[str, str]) -> Tuple[int, bytes]:
+        """Bounded jittered-backoff retries around :meth:`request_raw`.
+
+        Only idempotent methods retry (a ``POST`` that died mid-flight
+        may have applied — re-sending could double-apply a batch); a
+        retried failure is either connection-level (``ServerError``
+        status 0) or a retriable 5xx.  ``deadline`` bounds the whole
+        dance: when the next backoff pause would cross it, the last
+        failure surfaces unchanged.
+        """
+        attempts = self._retries if method in ("GET", "HEAD") else 0
+        deadline = (None if self._deadline is None
+                    else time.monotonic() + self._deadline)
+        attempt = 0
+        while True:
+            error: Optional[ServerError] = None
+            status, payload = 0, b""
+            try:
+                status, payload = self.request_raw(method, path, body=data,
+                                                   headers=headers)
+            except ServerError as exc:
+                error = exc
+            if error is None and status not in _RETRIABLE_STATUSES:
+                return status, payload
+            pause = min(self._retry_backoff * 2 ** attempt, _MAX_BACKOFF)
+            pause *= 0.5 + _retry_jitter(path, attempt) / 2.0
+            out_of_time = (deadline is not None
+                           and time.monotonic() + pause >= deadline)
+            if attempt >= attempts or out_of_time:
+                if error is not None:
+                    raise error
+                return status, payload
+            time.sleep(pause)
+            attempt += 1
 
     @staticmethod
     def _error_message(payload: bytes, status: int) -> str:
@@ -228,6 +307,25 @@ class ServerClient:
         """One vertex's score (``GET /graphs/<name>/score``)."""
         return self._request("GET", f"/graphs/{name}/score",
                              params={"v": v, "k": k})["score"]
+
+    def update_feed(self, name: str, since: int = 0,
+                    timeout: float = 0.0) -> Dict:
+        """Applied batches after ``since``
+        (``GET /graphs/<name>/updates/feed``).
+
+        ``timeout`` long-polls: the server parks the request up to that
+        many seconds (clamped server-side below the socket timeout)
+        waiting for the graph to advance.  The reply carries
+        ``entries`` (each with ``seq``, wire-shaped ``updates``, and
+        the post-apply ``version``), ``last_seq``, and ``complete`` —
+        ``False`` means the journal no longer reaches back to ``since``
+        and the consumer must fall back to a full store resync.
+        """
+        params: Dict[str, object] = {"since": since}
+        if timeout:
+            params["timeout"] = timeout
+        return self._request("GET", f"/graphs/{name}/updates/feed",
+                             params=params)
 
     def apply_updates(self, name: str,
                       updates: Sequence[WireUpdate]) -> Dict:

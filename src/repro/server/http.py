@@ -14,6 +14,8 @@ Method     Path                           Meaning
 ``GET``    ``/graphs/<name>/top_r``       canonical top-r (``k``, ``r``,
                                           optional ``contexts=1``)
 ``GET``    ``/graphs/<name>/score``       one vertex's score (``v``, ``k``)
+``GET``    ``/graphs/<name>/updates/feed``  applied batches after ``since``
+                                          (long-poll via ``timeout``)
 ``POST``   ``/graphs/<name>/updates``     apply an edge batch
 ``POST``   ``/graphs/<name>/scores``      persist the hot score cache
 ``POST``   ``/compact``                   compact the shared store
@@ -275,6 +277,32 @@ class DiversityRequestHandler(BaseHTTPRequestHandler):
             score = router.score(name, vertex, k)
             self._respond(200, {"graph": name, "vertex": vertex,
                                 "k": k, "score": score})
+            return True
+        if method == "GET" and rest == ["updates", "feed"]:
+            router.service(name)  # 404 for unregistered graphs
+            since = self._int_param(params, "since", default=0)
+            raw_timeout = params.get("timeout", "0")
+            try:
+                # Clamp below the pooled client's 30s socket timeout so
+                # an idle long-poll answers before the caller gives up.
+                timeout = min(max(float(raw_timeout), 0.0), 25.0)
+            except ValueError:
+                raise InvalidParameterError(
+                    f"query parameter timeout={raw_timeout!r} is not "
+                    f"a number") from None
+            if timeout > 0:
+                entries, last, complete = self.router.feed.wait(
+                    name, since, timeout)
+            else:
+                entries, last, complete = self.router.feed.since(
+                    name, since)
+            self._respond(200, {
+                "graph": name,
+                "since": since,
+                "last_seq": last,
+                "complete": complete,
+                "entries": [entry.to_payload() for entry in entries],
+            })
             return True
         if method == "POST" and rest == ["updates"]:
             updates = _coerce_updates(self._read_body())

@@ -38,12 +38,40 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import InvalidParameterError, StoreError, UnknownGraphError
 from repro.graph.graph import Graph, Vertex
 from repro.core.results import SearchResult
+from repro.replication.feed import UpdateFeed, WireUpdate
 from repro.service.service import DiversityService
 from repro.service.store import CompactionReport, IndexStore
 from repro.service.updates import UpdateLike, UpdateReport
 
 #: Graph names must be URL-path-safe: they appear in ``/graphs/<name>/…``.
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _wire_updates(updates: Sequence[UpdateLike]) -> List[WireUpdate]:
+    """Normalise applied updates to wire shape ``(op, u, v)`` so feed
+    consumers can POST them back verbatim."""
+    shaped: List[WireUpdate] = []
+    for update in updates:
+        if hasattr(update, "op"):
+            shaped.append((update.op, update.u, update.v))
+        else:
+            op, u, v = update
+            shaped.append((op, u, v))
+    return shaped
+
+
+def _report_payload(report: UpdateReport) -> Dict[str, object]:
+    """The JSON-able facts of one batch, as the updates endpoint words
+    them (feed entries carry the same keys the POST response did)."""
+    return {
+        "num_updates": report.num_updates,
+        "affected_vertices": sorted(report.affected_vertices, key=repr),
+        "rebuilt_forests": report.rebuilt_forests,
+        "invalidated_thresholds": list(report.invalidated_thresholds),
+        "retained_thresholds": list(report.retained_thresholds),
+        "vertex_set_changed": report.vertex_set_changed,
+        "seconds": report.seconds,
+    }
 
 
 class DiversityRouter:
@@ -73,6 +101,12 @@ class DiversityRouter:
         self._services: Dict[str, DiversityService] = {}
         self._pending: Set[str] = set()  # names mid-registration
         self._registry_lock = threading.Lock()
+        #: Journal of applied update batches per graph, populated by
+        #: each service's ``update_listener`` *inside its writer lock*
+        #: (feed order == apply order) and served over
+        #: ``GET /graphs/<name>/updates/feed`` for followers, respawned
+        #: workers, and shard-move targets to replay.
+        self.feed = UpdateFeed()
 
     # ------------------------------------------------------------------
     # Registry
@@ -112,19 +146,43 @@ class DiversityRouter:
             with self._registry_lock:
                 self._pending.discard(name)
             raise
+        # Hook the feed before publishing: no update can apply through
+        # the router until the service is in the registry, so every
+        # routed batch is journaled.
+        service.update_listener = self._feed_listener(name)
         with self._registry_lock:
             self._pending.discard(name)
             self._services[name] = service  # atomic publish
         return service
+
+    def _feed_listener(self, name: str):
+        """A per-graph hook appending applied batches to :attr:`feed`.
+
+        The service invokes it under its writer lock, right after the
+        snapshot publish — concurrent writers on one graph therefore
+        journal in exactly the order their batches applied.
+        """
+        def on_applied(updates: Sequence[UpdateLike],
+                       report: UpdateReport,
+                       version: Optional[int]) -> None:
+            self.feed.append(name, _wire_updates(updates),
+                             version=version,
+                             report=_report_payload(report))
+        return on_applied
 
     def remove_graph(self, name: str) -> DiversityService:
         """Unregister a graph; in-flight queries on its service finish
         against the snapshot they already captured."""
         with self._registry_lock:
             try:
-                return self._services.pop(name)
+                service = self._services.pop(name)
             except KeyError:
                 raise UnknownGraphError(name) from None
+        # Unhook + forget the journal: a standalone re-use of the
+        # service must not keep appending to a dropped graph's feed.
+        service.update_listener = None
+        self.feed.drop(name)
+        return service
 
     def graphs(self) -> List[str]:
         """Registered graph names, sorted.

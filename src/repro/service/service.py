@@ -32,7 +32,7 @@ Examples
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import StoreError
 from repro.graph.graph import Graph, Vertex
@@ -69,6 +69,15 @@ class DiversityService:
         self._updates_applied = 0
         self._reports: List[UpdateReport] = []
         self.warm_started = False
+        #: Called as ``listener(updates, report, version)`` inside the
+        #: writer lock, right after each batch publishes.  The server
+        #: router points this at the replication
+        #: :class:`~repro.replication.feed.UpdateFeed` — invoking it
+        #: under the lock is what guarantees feed order equals apply
+        #: order when concurrent writers hit the same graph.
+        self.update_listener: Optional[
+            Callable[[Sequence[UpdateLike], UpdateReport, Optional[int]],
+                     None]] = None
 
     def _count_queries(self, n: int) -> None:
         with self._stats_lock:
@@ -197,6 +206,8 @@ class DiversityService:
             self._snapshot = next_snapshot  # atomic publish
             self._updates_applied += report.num_updates
             self._reports.append(report)
+            if self.update_listener is not None:
+                self.update_listener(updates, report, next_snapshot.version)
         return report
 
     def _version_of(self, snapshot: Snapshot) -> Optional[StoreVersion]:

@@ -73,16 +73,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-try:  # POSIX advisory file locking; absent on some platforms
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
-
 from repro.errors import StoreError
 from repro.graph.graph import Graph
 from repro.core.tsd import TSDIndex
 from repro.core.gct import GCTIndex
 from repro.core.hybrid import HybridSearcher
+from repro.service.lock import StoreLock
 from repro.service.snapshot import ScoreEntry, scores_from_payload
 from repro.storage.codec import BINARY_NAMES, codec_for_artifact, get_codec
 from repro.storage.writer import compact_artifact
@@ -208,9 +204,9 @@ class IndexStore:
         self._manifest_path = self._root / "manifest.json"
         self._codec_name = get_codec(codec).name  # validates the name
         # In-process writer mutex, held alongside the cross-process
-        # flock: without fcntl (non-POSIX) the on-disk lock degrades,
-        # and even one process can host concurrent writers (the
-        # router's per-graph update threads share this store).
+        # StoreLock: even one process can host concurrent writers (the
+        # router's per-graph update threads share this store), and the
+        # pid-file fallback lock is not reentrant across threads.
         self._write_mutex = threading.Lock()
         # Parsed-manifest cache keyed by (st_mtime_ns, st_size): every
         # locked operation re-reads the manifest to merge concurrent
@@ -293,27 +289,24 @@ class IndexStore:
         root each hold their own in-memory manifest; without the lock
         and re-read, concurrent ``put`` calls would race on
         ``manifest.json`` and the last write would silently drop the
-        other's versions.  POSIX ``flock`` on ``<root>/.lock``
-        serialises writers across processes; re-reading the manifest
-        under the lock merges whatever they committed meanwhile.  An
-        in-process mutex wraps the whole section, so concurrent writer
-        threads in *one* process (the router's per-graph updates) stay
-        safe even on platforms without :mod:`fcntl`, where the
-        cross-process half degrades to best-effort.
+        other's versions.  A :class:`~repro.service.lock.StoreLock` on
+        ``<root>/.lock`` serialises writers across processes (``flock``
+        on POSIX, a stale-breaking pid file elsewhere — either way a
+        writer killed mid-``put`` never wedges later writers);
+        re-reading the manifest under the lock merges whatever others
+        committed meanwhile.  An in-process mutex wraps the whole
+        section, so concurrent writer threads in *one* process (the
+        router's per-graph updates) stay safe regardless of platform.
         """
         with self._write_mutex:
-            fd = os.open(self._root / ".lock",
-                         os.O_CREAT | os.O_RDWR, 0o644)
+            lock = StoreLock(self._root / ".lock")
+            lock.acquire()
             try:
-                if fcntl is not None:
-                    fcntl.flock(fd, fcntl.LOCK_EX)
                 if self._manifest_path.exists():
                     self._manifest = self._read_manifest()
                 yield
             finally:
-                if fcntl is not None:
-                    fcntl.flock(fd, fcntl.LOCK_UN)
-                os.close(fd)
+                lock.release()
 
     def refresh(self) -> None:
         """Re-read the manifest from disk (another writer may have

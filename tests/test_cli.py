@@ -277,3 +277,48 @@ class TestParser:
         # Ego of "a" is the single edge (b, c): one 2-truss context.
         assert main(["score", path, "a", "-k", "2"]) == 0
         assert "= 1" in capsys.readouterr().out
+
+
+class TestReplicate:
+    def _seed_store(self, tmp_path):
+        from repro.service.service import DiversityService
+        from repro.service.store import IndexStore
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        DiversityService.cold(g, store=IndexStore(tmp_path / "primary",
+                                                  codec="bin"))
+        return str(tmp_path / "primary"), str(tmp_path / "replica")
+
+    def test_replicate_then_idempotent_pass(self, tmp_path, capsys):
+        source, dest = self._seed_store(tmp_path)
+        assert main(["replicate", source, dest]) == 0
+        out = capsys.readouterr().out
+        assert "replicated 1 lineage(s)" in out
+        # Second pass ships nothing: every artifact verifies in place.
+        assert main(["replicate", source, dest]) == 0
+        assert "0 B shipped" in capsys.readouterr().out
+
+    def test_replicate_unknown_key(self, tmp_path, capsys):
+        source, dest = self._seed_store(tmp_path)
+        assert main(["replicate", source, dest, "--key", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_replicate_missing_source(self, tmp_path, capsys):
+        assert main(["replicate", str(tmp_path / "nowhere"),
+                     str(tmp_path / "replica")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_replicas_requires_workers(self, tmp_path, capsys):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        path = str(tmp_path / "tri.txt")
+        write_edge_list(g, path)
+        assert main(["serve", "--http", "0", "--graph", f"tri={path}",
+                     "--replicas", "1"]) == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_replicas_negative(self, tmp_path, capsys):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        path = str(tmp_path / "tri.txt")
+        write_edge_list(g, path)
+        assert main(["serve", "--http", "0", "--graph", f"tri={path}",
+                     "--workers", "1", "--replicas", "-2"]) == 1
+        assert ">= 0" in capsys.readouterr().err
