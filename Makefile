@@ -35,8 +35,8 @@ smoke-parallel-build:  ## jobs=2 builds must byte-match serial builds
 smoke-mmap:     ## binary format: round-trips, corrupt artifacts, lazy LRU, delta/compact
 	PYTHONPATH=src $(PY) -m pytest -q tests/test_storage.py
 
-smoke-chaos:    ## replication + fault injection: follower sync, rolling restarts, zero-503 moves, kill-during-update
-	PYTHONPATH=src $(PY) -m pytest -q tests/test_replication.py tests/test_chaos.py
+smoke-chaos:    ## replication + fault injection: follower sync, rolling restarts, zero-503 moves, kill-during-update, journal truncation
+	PYTHONPATH=src $(PY) -m pytest -q tests/test_replication.py tests/test_chaos.py tests/test_journal_checkpoint.py
 
 examples:       ## every example script, executed (they assert their claims)
 	for script in examples/*.py; do \

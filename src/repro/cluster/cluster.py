@@ -43,6 +43,13 @@ Responsibilities, in order of appearance:
   batch (:meth:`note_update`); a respawned worker gets its graph
   registrations *and* the post-registration update stream replayed, so
   recovery restores the graph as last served, not as registered.
+* **Checkpoint.**  The journal is *bounded*: once replication has
+  durably shipped the store versions covering a prefix of acked
+  batches (immediately, with no followers), the prefix is folded into
+  the graph's effective registration and truncated
+  (:meth:`checkpoint_journals`), and the owning worker's feed floor is
+  raised to match — recovery replays a bounded suffix, not everything
+  since boot, and frontend memory stays O(window) per graph.
 * **Move.**  :meth:`move_graph` hands a graph to another worker with
   zero 503s: replicate the artifacts, register the target, replay the
   journal, then close the graph's write gate only for the final
@@ -63,6 +70,7 @@ Examples
 
 from __future__ import annotations
 
+import json
 import math
 import multiprocessing
 import shutil
@@ -82,10 +90,11 @@ from repro.graph.graph import Graph
 from repro.graph.io import graph_to_payload
 from repro.replication.sync import read_store_manifest, replicate_store
 from repro.server.client import ServerClient
+from repro.server.http import _coerce_updates
 from repro.server.router import _NAME_PATTERN
 from repro.cluster.frontend import ClusterFrontend, serve_frontend
 from repro.cluster.shardmap import DEFAULT_REPLICAS, ShardMap
-from repro.cluster.worker import run_worker
+from repro.cluster.worker import load_graph_spec, run_worker
 
 
 def _spawn_context():
@@ -125,6 +134,44 @@ class _WorkerHandle:
         return self.process is not None and self.process.is_alive()
 
 
+class _JournalEntry:
+    """One journaled update batch: the raw acked wire body plus the
+    owner's post-apply store coordinates, when its response carried
+    them (the checkpoint-eligibility signal)."""
+
+    __slots__ = ("body", "version", "key")
+
+    def __init__(self, body: bytes, version: Optional[int],
+                 key: Optional[str]) -> None:
+        self.body = body
+        self.version = version
+        self.key = key
+
+
+class _JournalRecord:
+    """One graph's bounded update journal plus its checkpoint.
+
+    ``entries`` holds only the *suffix* past the checkpoint; the
+    ``base`` batches before it have been folded into ``folded`` — the
+    registration graph with those batches applied, mutation-for-
+    mutation as the worker applied them, so its content fingerprint
+    equals the checkpointed store key and a respawn warm-starts at the
+    chain tip.  Positions handed to replay are absolute
+    (``base + index``), which keeps them valid across a truncation.
+    """
+
+    __slots__ = ("entries", "base", "bytes_retained",
+                 "checkpoint_version", "checkpoint_key", "folded")
+
+    def __init__(self) -> None:
+        self.entries: List[_JournalEntry] = []
+        self.base = 0
+        self.bytes_retained = 0
+        self.checkpoint_version: Optional[int] = None
+        self.checkpoint_key: Optional[str] = None
+        self.folded: Optional[Graph] = None
+
+
 class ShardedCluster:
     """N worker processes + consistent-hash router tier + supervisor.
 
@@ -162,6 +209,13 @@ class ShardedCluster:
         unrelated consistent-hash ring-point count.
     replication_interval:
         Seconds between follower sync passes.
+    journal_window:
+        Retained-batch threshold that triggers an opportunistic journal
+        checkpoint from the write path (``0`` disables checkpointing
+        entirely — the journal then grows with history, as before).
+        Replication passes checkpoint eagerly regardless of the window;
+        the window is the backstop for follower-less clusters and for
+        write bursts between passes.
     """
 
     def __init__(self, workers: int, *,
@@ -175,12 +229,16 @@ class ShardedCluster:
                  restart_interval: float = 0.5,
                  followers: int = 0,
                  replication_interval: float = 0.25,
+                 journal_window: int = 128,
                  spawn_timeout: float = 30.0,
                  quiet: bool = True) -> None:
         if workers < 1:
             raise ClusterError(f"a cluster needs >= 1 worker, got {workers}")
         if followers < 0:
             raise ClusterError(f"followers must be >= 0, got {followers}")
+        if journal_window < 0:
+            raise ClusterError(
+                f"journal_window must be >= 0, got {journal_window}")
         self.shard_map = ShardMap(workers, replicas=replicas, pins=pins)
         self.followers = followers
         self.replication_interval = replication_interval
@@ -197,16 +255,19 @@ class ShardedCluster:
         else:
             self._store_root = Path(store_root)
             self._owns_store_root = False
+        self.journal_window = journal_window
         self._handles: List[Optional[_WorkerHandle]] = [None] * workers
         self._registrations: Dict[str, Dict[str, object]] = {}
-        #: Raw wire bodies of every successfully relayed update batch,
-        #: per graph, in relay order — the replay script that restores
-        #: a respawned worker (or a shard-move target) to *as last
-        #: served*, not merely *as registered*.  Compacting the journal
-        #: once followers have durably absorbed a prefix is roadmap
-        #: work; bodies are small (edge batches), so a serving window's
-        #: journal fits comfortably in memory.
-        self._update_journal: Dict[str, List[bytes]] = {}
+        #: Per-graph bounded update journal: the raw wire bodies of
+        #: acked update batches *past the checkpoint*, in relay order —
+        #: the replay script that restores a respawned worker (or a
+        #: shard-move target) to *as last served*.  Once replication
+        #: has durably shipped the store versions covering a prefix
+        #: (or, with no followers, once the window fills), the prefix
+        #: is folded into the record's effective registration graph and
+        #: truncated (:meth:`checkpoint_journals`), so recovery replays
+        #: a bounded suffix instead of everything since boot.
+        self._journal: Dict[str, _JournalRecord] = {}
         #: Per-graph write gates.  The frontend holds a graph's gate
         #: across each relayed write; a shard move's final catch-up
         #: closes it while flipping the pin, which is what makes the
@@ -216,6 +277,10 @@ class ShardedCluster:
         self._respawn_counts: List[int] = [0] * workers
         #: Per-slot summary of the last follower sync pass.
         self._replication_reports: Dict[int, Dict[str, object]] = {}
+        #: ``{slot: {follower: {graph key: newest shipped version}}}``
+        #: from the last sync pass — the durability floors journal
+        #: checkpointing compares acked batches against.
+        self._follower_floors: Dict[int, Dict[int, Dict[str, int]]] = {}
         self.last_replication_error: Optional[str] = None
         #: Fault-injection hook: seconds to sleep per replicated file
         #: (a "slow follower"); the chaos harness sets it, sync passes
@@ -448,32 +513,56 @@ class ShardedCluster:
             return None  # primary intact: normal warm start
         except StoreError:
             pass  # lost or unreadable: fall through to the replicas
+        # Rank replicas newest-first (highest shipped store version):
+        # with checkpointed journals the suffix replay only reaches
+        # back to the checkpoint, so restoring a *stale* replica when a
+        # fresher one exists would cost a cold rebuild of the folded
+        # registration instead of a chain-tip warm start.
+        ranked: List[Tuple[int, int, Path]] = []
         for follower in range(self.followers):
             replica = self.replica_root(slot, follower)
             try:
+                manifest = read_store_manifest(replica)
+            except StoreError:
+                continue  # missing/corrupt replica: skip
+            newest = max(
+                (int(number) for entry in manifest["graphs"].values()
+                 for number in entry["versions"]), default=0)
+            ranked.append((newest, follower, replica))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        for _, _, replica in ranked:
+            try:
                 report = replicate_store(replica, primary)
             except StoreError:
-                continue  # missing/corrupt replica: try the next
+                continue  # replica failed verification: try the next
             return (f"worker {slot}: store restored from "
                     f"{replica.name} ({report.summary()})")
         return None  # cold start; registrations replay regardless
 
     def _replay_registrations(self, handle: _WorkerHandle) -> None:
         """Re-register the slot's graphs, then replay their journaled
-        post-registration update batches (in relay order).
+        post-checkpoint update batches (in relay order).
 
-        The journal snapshot cannot miss a batch: this slot has no
-        published handle while replay runs, so the frontend answers 503
-        for its graphs — no *new* update can be relayed (and journaled)
-        until the replayed worker is published.
+        The registration is the *effective* spec — the folded graph
+        when a checkpoint exists — so the replay starts at the
+        checkpoint and streams only the retained suffix, however long
+        the cluster has been up.  The suffix cannot miss a batch: this
+        slot has no published handle while replay runs, so the frontend
+        answers 503 for its graphs — no *new* update can be relayed
+        (and journaled) until the replayed worker is published; and the
+        caller holds ``_respawn_lock``, which excludes a concurrent
+        checkpoint from folding entries out from under the replay.
         """
         with self._lock:
-            owned = [(name, spec)
-                     for name, spec in self._registrations.items()
-                     if self.shard_map.owner(name) == handle.slot]
-        for name, spec in owned:
+            owned = []
+            for name in self._registrations:
+                if self.shard_map.owner(name) != handle.slot:
+                    continue
+                spec, start = self._effective_spec_locked(name)
+                owned.append((name, spec, start))
+        for name, spec, start in owned:
             handle.client._request("POST", "/admin/graphs", body=spec)
-            self._replay_journal(handle.client, name, 0)
+            self._replay_journal(handle.client, name, start)
 
     def note_worker_failure(self, slot: int) -> None:
         """Frontend hook: a request to this worker failed at the
@@ -544,7 +633,12 @@ class ShardedCluster:
                     continue
                 with self._lock:
                     self._replication_reports[slot] = report.to_payload()
+                    self._follower_floors.setdefault(slot, {})[follower] \
+                        = dict(report.version_floors)
         self.last_replication_error = "; ".join(errors) or None
+        # Every batch whose store version all followers now hold is
+        # durably recoverable from a replica: fold and truncate.
+        self.checkpoint_journals()
         with self._lock:
             return dict(self._replication_reports)
 
@@ -560,18 +654,61 @@ class ShardedCluster:
                     f"{type(exc).__name__}: {exc}"
 
     # ------------------------------------------------------------------
-    # Update journal and write gates
+    # Update journal, checkpointing, and write gates
     # ------------------------------------------------------------------
-    def note_update(self, name: str, body: bytes) -> None:
+    def note_update(self, name: str, body: bytes,
+                    version: Optional[int] = None,
+                    key: Optional[str] = None) -> None:
         """Frontend hook: journal one successfully relayed update body
-        (the replay script for respawns and shard moves)."""
+        (the replay script for respawns and shard moves), tagged with
+        the owner's post-apply store ``version``/``key`` when its
+        response carried them — the coordinates checkpointing compares
+        against the followers' shipped floors."""
         with self._lock:
-            self._update_journal.setdefault(name, []).append(bytes(body))
+            rec = self._journal.setdefault(name, _JournalRecord())
+            entry = _JournalEntry(
+                bytes(body),
+                int(version) if version is not None else None,
+                str(key) if key is not None else None)
+            rec.entries.append(entry)
+            rec.bytes_retained += len(entry.body)
+            crowded = (self.journal_window > 0
+                       and len(rec.entries) >= self.journal_window)
+        if crowded:
+            # Opportunistic fold on the write path: never blocks — a
+            # concurrent respawn/move/checkpoint keeps the locks and
+            # the next update (or replication pass) retries.
+            self.checkpoint_journals(blocking=False)
 
     def journal_length(self, name: str) -> int:
-        """Journaled batches for one graph (observability + tests)."""
+        """*Retained* (post-checkpoint) batches for one graph — what a
+        recovery would replay (observability + tests)."""
         with self._lock:
-            return len(self._update_journal.get(name, ()))
+            rec = self._journal.get(name)
+            return len(rec.entries) if rec is not None else 0
+
+    def journal_total(self, name: str) -> int:
+        """All batches ever journaled for one graph: checkpointed
+        (folded away) + retained."""
+        with self._lock:
+            rec = self._journal.get(name)
+            return rec.base + len(rec.entries) if rec is not None else 0
+
+    def journal_payload(self) -> Dict[str, object]:
+        """Per-graph journal/checkpoint state (frontend ``/stats``)."""
+        with self._lock:
+            graphs: Dict[str, Dict[str, object]] = {}
+            for name in sorted(self._journal):
+                rec = self._journal[name]
+                graphs[name] = {
+                    "entries": len(rec.entries),
+                    "total": rec.base + len(rec.entries),
+                    "checkpointed": rec.base,
+                    "checkpoint_version": rec.checkpoint_version,
+                    "checkpoint_key": rec.checkpoint_key,
+                    "bytes_retained": rec.bytes_retained,
+                }
+            return {"window": self.journal_window, "graphs": graphs}
 
     def write_gate(self, name: str) -> threading.Lock:
         """The per-graph lock serialising relayed writes against a
@@ -583,22 +720,163 @@ class ShardedCluster:
                 self._write_gates[name] = gate
             return gate
 
+    def checkpoint_journals(self, blocking: bool = True
+                            ) -> Dict[str, int]:
+        """Fold every graph's durably covered journal prefix into its
+        effective registration and truncate the retained list.
+
+        A batch is *covered* when every follower's last sync pass
+        shipped the store version its ack reported (with no followers,
+        folding itself is the durability: the frontend replays the
+        folded registration + suffix, which never consults a store).
+        After folding, the owning worker's ``UpdateFeed`` floor is
+        raised to match (best-effort RPC) so feed consumers that slept
+        past the truncation take the ``complete=False`` resync path.
+
+        Runs under the respawn *and* move locks: both replay paths read
+        an (effective spec, position) pair and then stream entries, and
+        a fold in between would drop batches out from under them.
+        Returns ``{graph: batches folded}`` for this pass.
+        """
+        if self.journal_window <= 0 or self._stop_event.is_set():
+            return {}
+        if not self._respawn_lock.acquire(blocking=blocking):
+            return {}
+        try:
+            if not self._move_lock.acquire(blocking=blocking):
+                return {}
+            try:
+                return self._checkpoint_under_locks()
+            finally:
+                self._move_lock.release()
+        finally:
+            self._respawn_lock.release()
+
+    def _checkpoint_under_locks(self) -> Dict[str, int]:
+        with self._lock:
+            names = sorted(self._journal)
+        folded: Dict[str, int] = {}
+        truncations: List[Tuple[int, str, int]] = []
+        for name in names:
+            count, version = self._fold_one(name)
+            if count:
+                folded[name] = count
+                if version is not None:
+                    truncations.append(
+                        (self.shard_map.owner(name), name, version))
+        for slot, name, version in truncations:
+            client = self.client_for(slot)
+            if client is None:
+                continue
+            try:
+                client.truncate_feed(name, version=version)
+            except ServerError:
+                # Worker down or mid-handoff: the feed floor is an
+                # optimisation (lagging consumers resync a little
+                # later); the next checkpoint retries.
+                pass
+        return folded
+
+    def _fold_one(self, name: str) -> Tuple[int, Optional[int]]:
+        """Fold one graph's eligible journal prefix; returns
+        ``(batches folded, checkpoint version)``."""
+        with self._lock:
+            rec = self._journal.get(name)
+            spec = self._registrations.get(name)
+            if rec is None or spec is None or not rec.entries:
+                return 0, None if rec is None else rec.checkpoint_version
+            eligible = self._eligible_prefix(name, rec)
+            if eligible == 0:
+                return 0, rec.checkpoint_version
+            if rec.folded is None:
+                rec.folded = load_graph_spec(spec)
+            prefix = rec.entries[:eligible]
+            # Decode every body up front: a body that no longer parses
+            # must fail the fold *before* any graph mutation, leaving
+            # the journal intact rather than half-advanced.
+            batches = [_coerce_updates(json.loads(
+                entry.body.decode("utf-8"))) for entry in prefix]
+            for entry, updates in zip(prefix, batches):
+                # Mirror apply_batch's graph mutations exactly — same
+                # ops, same order — so the folded graph's fingerprint
+                # equals the worker's post-batch store key.
+                for op, u, v in updates:
+                    if op == "insert":
+                        rec.folded.add_edge(u, v)
+                    else:
+                        rec.folded.remove_edge(u, v)
+                rec.base += 1
+                rec.bytes_retained -= len(entry.body)
+                if entry.version is not None:
+                    rec.checkpoint_version = entry.version
+                if entry.key is not None:
+                    rec.checkpoint_key = entry.key
+            del rec.entries[:eligible]
+            return eligible, rec.checkpoint_version
+
+    def _eligible_prefix(self, name: str, rec: _JournalRecord) -> int:
+        """How many leading retained entries are durably covered."""
+        if self.followers < 1:
+            # No replicas to wait for: the folded registration *is* the
+            # recovery source (registration + suffix replay never needs
+            # a store — a lost primary just costs a cold build).
+            return len(rec.entries)
+        slot = self.shard_map.owner(name)
+        floors = self._follower_floors.get(slot)
+        if floors is None or len(floors) < self.followers:
+            return 0  # not every follower has completed a pass yet
+        count = 0
+        for entry in rec.entries:
+            if entry.key is None or not all(
+                    entry.key in floor
+                    and (entry.version is None
+                         or floor[entry.key] >= entry.version)
+                    for floor in floors.values()):
+                break
+            count += 1
+        return count
+
+    def _effective_spec_locked(self, name: str
+                               ) -> Tuple[Dict[str, object], int]:
+        """The registration a recovery replays *now*, plus the absolute
+        journal position to resume from: the original spec when nothing
+        is checkpointed, otherwise the folded graph shipped inline (its
+        fingerprint matches the checkpointed store key, so the worker
+        warm-starts at the chain tip instead of re-applying history).
+        Callers hold ``_lock`` *and* the respawn or move lock — the
+        pair must stay coherent until the replay finishes."""
+        spec = self._registrations[name]
+        rec = self._journal.get(name)
+        if rec is None or rec.folded is None:
+            return dict(spec), rec.base if rec is not None else 0
+        return {"name": name, "graph": graph_to_payload(rec.folded)}, \
+            rec.base
+
     def _replay_journal(self, client: ServerClient, name: str,
                         start: int) -> int:
-        """POST journal entries ``[start:]`` for one graph to a worker;
-        returns the new journal position (= entries now applied)."""
+        """POST journaled batches at absolute positions ``>= start``
+        for one graph to a worker; returns the new absolute position.
+
+        Positions are absolute (checkpointed + retained), so they stay
+        meaningful across truncations; the suffix is sliced under the
+        lock at O(suffix) — the journal is never copied wholesale.
+        """
         with self._lock:
-            pending = list(self._update_journal.get(name, ()))[start:]
-        for body in pending:
+            rec = self._journal.get(name)
+            if rec is None:
+                return start
+            first = max(start, rec.base)
+            pending = rec.entries[first - rec.base:]
+        for entry in pending:
             status, payload = client.request_raw(
-                "POST", f"/graphs/{name}/updates", body=body,
+                "POST", f"/graphs/{name}/updates", body=entry.body,
                 headers={"Content-Type": "application/json"})
             if status >= 400:
                 raise ClusterError(
                     f"replaying an update batch to graph {name!r} "
                     f"failed with status {status}: "
                     f"{payload[:200].decode('utf-8', 'replace')}")
-        return start + len(pending)
+        return first + len(pending)
 
     # ------------------------------------------------------------------
     # Shard handoff
@@ -657,10 +935,16 @@ class ShardedCluster:
                 # registration instead of warm-starting.  Correctness
                 # comes from registration + journal replay either way.
                 pass
+            # Effective spec + suffix: the target warm-starts at the
+            # checkpoint (the folded graph's fingerprint is the
+            # checkpointed store key, which step 1 just replicated in)
+            # and only the retained journal streams over.  Holding
+            # _move_lock keeps (spec, start) coherent: a concurrent
+            # checkpoint cannot fold entries past ``start``.
             with self._lock:
-                spec = dict(self._registrations[name])
+                spec, start = self._effective_spec_locked(name)
             target_client._request("POST", "/admin/graphs", body=spec)
-            position = self._replay_journal(target_client, name, 0)
+            position = self._replay_journal(target_client, name, start)
             gate = self.write_gate(name)
             with gate:
                 # Writes are parked here (frontend relays hold this
@@ -675,6 +959,41 @@ class ShardedCluster:
                                        body={"name": name})
             return {"graph": name, "source": source, "target": target,
                     "moved": True}
+
+    def remove_graph(self, name: str) -> Dict[str, object]:
+        """Deregister a graph fleet-wide and drop every piece of
+        frontend-side state that tracked it.
+
+        Before this existed, a graph's ``_journal`` record and write
+        gate lived for the cluster's lifetime even after its worker
+        stopped serving it — a slow per-graph leak.  The worker-side
+        removal also drops the graph's :class:`UpdateFeed` journal
+        (``DiversityRouter.remove_graph`` calls ``feed.drop``); the
+        shard pin is released so a later re-add hashes freshly.
+        """
+        if not self._started:
+            raise ClusterError("start() the cluster before removing graphs")
+        with self._lock:
+            if name not in self._registrations:
+                raise ClusterError(f"no graph named {name!r} is registered")
+        # Serialised against shard moves: a move in flight reads the
+        # spec and streams the journal; removing them under it would
+        # strand the target half-registered.
+        with self._move_lock:
+            slot = self.shard_map.owner(name)
+            client = self.client_for(slot)
+            if client is not None:
+                # Best-effort: a dead worker simply never re-registers
+                # the graph (its registration is gone below).
+                client._request("POST", "/admin/graphs/remove",
+                                body={"name": name})
+            with self._lock:
+                self._registrations.pop(name, None)
+                self._journal.pop(name, None)
+                self._write_gates.pop(name, None)
+            self.shard_map.unpin(name)
+        return {"graph": name, "worker": slot, "removed": True}
+
     def add_graph(self, name: str, graph: Optional[Graph] = None,
                   path=None) -> Dict[str, object]:
         """Register a graph on its owning worker.

@@ -164,8 +164,19 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
             status, payload = retried
         if method == "POST" and rest == ["updates"] and status == 200:
             # Journaled only after the owner confirmed the apply — the
-            # journal replays exactly what the fleet acknowledged.
-            cluster.note_update(name, body)
+            # journal replays exactly what the fleet acknowledged.  The
+            # ack's post-apply store version/key ride along: they are
+            # what checkpointing compares against replication's shipped
+            # floors to decide when this batch may be folded away.
+            version = key = None
+            try:
+                answer = json.loads(payload.decode("utf-8"))
+                version = answer.get("version")
+                key = answer.get("key")
+            except (ValueError, AttributeError):
+                pass  # non-JSON/odd ack: journal untagged (never folds
+                #       under followers; still replays correctly)
+            cluster.note_update(name, body, version=version, key=key)
         self._relay(status, payload)
 
     def _fast_retry(self, method: str, slot: int, body: bytes,
@@ -282,6 +293,7 @@ class ClusterRequestHandler(BaseHTTPRequestHandler):
             "workers": workers,
             "workers_down": sorted(down),
             "supervision": self.cluster.supervision_payload(),
+            "journal": self.cluster.journal_payload(),
         }, errors))
 
     def _fan_compact(self) -> None:

@@ -84,9 +84,9 @@ STATE_GUARDS: Dict[str, StateGuard] = {
         locks=("self._pool_lock",), attrs=("_pool",)),
     "cluster/cluster.py": _guard(
         locks=("self._lock", "self._respawn_lock"),
-        attrs=("_handles", "_registrations", "_update_journal",
+        attrs=("_handles", "_registrations", "_journal",
                "_write_gates", "_respawn_counts",
-               "_replication_reports")),
+               "_replication_reports", "_follower_floors")),
     "storage/reader.py": _guard(
         locks=("self._lock",),
         attrs=("_cache", "_labels")),

@@ -62,8 +62,10 @@ def entry_from_payload(payload: Dict[str, object]) -> FeedEntry:
          tuple(u) if isinstance(u, list) else u,
          tuple(v) if isinstance(v, list) else v)
         for op, u, v in payload["updates"])
+    version = payload.get("version")
     return FeedEntry(seq=int(payload["seq"]), graph=str(payload["graph"]),
-                     updates=updates, version=payload.get("version"),
+                     updates=updates,
+                     version=int(version) if version is not None else None,
                      report=payload.get("report"))
 
 
@@ -143,6 +145,56 @@ class UpdateFeed:
         entries = [entry for entry in self._entries.get(graph, ())
                    if entry.seq > seq]
         return entries, last, complete
+
+    def truncate(self, graph: str, upto_seq: int) -> int:
+        """Checkpoint: drop entries with ``seq <= upto_seq`` and raise the
+        incomplete floor to match.
+
+        The supervisor calls this once replication has durably shipped a
+        store version covering those batches — replay from the
+        checkpointed store makes the prefix redundant.  A consumer that
+        slept past the truncation point sees ``complete=False`` from
+        :meth:`since`/:meth:`wait` (the floor moved over its position)
+        and falls back to a full resync, exactly as on capacity
+        overflow.  Returns the number of entries dropped.
+        """
+        with self._cond:
+            bucket = self._entries.get(graph)
+            if not bucket or upto_seq < bucket[0].seq:
+                return 0
+            kept = [entry for entry in bucket if entry.seq > upto_seq]
+            dropped = len(bucket) - len(kept)
+            if kept:
+                self._entries[graph] = kept
+            else:
+                self._entries.pop(graph, None)
+            if upto_seq > self._floor.get(graph, 0):
+                self._floor[graph] = upto_seq
+            self._cond.notify_all()
+        return dropped
+
+    def truncate_version(self, graph: str, upto_version: int) -> int:
+        """Drop the prefix of entries whose ``version`` is at or below
+        ``upto_version`` (entries without a version never match).
+
+        The cluster checkpoints by *store version* — feed ``seq``
+        numbers restart per worker incarnation, store versions survive
+        respawns — so this is the form the supervisor's truncation RPC
+        uses.  Stops at the first entry past the floor: versions are
+        monotonic within a graph's feed.  Returns entries dropped.
+        """
+        with self._cond:
+            bucket = self._entries.get(graph)
+            if not bucket:
+                return 0
+            upto_seq = 0
+            for entry in bucket:
+                if entry.version is None or entry.version > upto_version:
+                    break
+                upto_seq = entry.seq
+        if upto_seq == 0:
+            return 0
+        return self.truncate(graph, upto_seq)
 
     def drop(self, graph: str) -> None:
         """Forget one graph's journal (deregistration)."""

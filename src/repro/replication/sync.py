@@ -95,6 +95,13 @@ class ReplicationReport:
     files_repaired: int   # present but wrong/corrupt; re-synced
     bytes_shipped: int    # bytes read from the primary's files
     bytes_reused: int     # bytes taken from follower-local bases/files
+    #: Per selected graph key, the newest version number the follower
+    #: durably holds after this pass — the journal-checkpoint floor.
+    version_floors: Dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.version_floors is None:
+            object.__setattr__(self, "version_floors", {})
 
     @property
     def files_synced(self) -> int:
@@ -110,7 +117,7 @@ class ReplicationReport:
                 f"({self.bytes_shipped:,} B shipped, "
                 f"{self.bytes_reused:,} B reused)")
 
-    def to_payload(self) -> Dict[str, int]:
+    def to_payload(self) -> Dict[str, object]:
         """JSON-able form (surfaced through cluster stats)."""
         return {
             "keys": self.keys,
@@ -120,6 +127,7 @@ class ReplicationReport:
             "files_repaired": self.files_repaired,
             "bytes_shipped": self.bytes_shipped,
             "bytes_reused": self.bytes_reused,
+            "version_floors": dict(self.version_floors),
         }
 
 
@@ -338,10 +346,15 @@ def replicate_store(source_root, follower_root, *,
                     "graphs": graphs_out},
                    indent=2, separators=(",", ": "),
                    sort_keys=False).encode("utf-8"))
+    floors = {
+        key: max(int(number) for number in graphs[key]["versions"])
+        for key in sorted(selected) if graphs[key]["versions"]
+    }
     return ReplicationReport(keys=len(selected), files_full=full,
                              files_delta=delta, files_skipped=skipped,
                              files_repaired=repaired,
-                             bytes_shipped=shipped, bytes_reused=reused)
+                             bytes_shipped=shipped, bytes_reused=reused,
+                             version_floors=floors)
 
 
 def _sync_json(src_path: Path, dst_path: Path) -> Tuple[str, int, int]:

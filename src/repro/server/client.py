@@ -339,6 +339,23 @@ class ServerClient:
         return self._request("POST", f"/graphs/{name}/updates",
                              body={"updates": wire})
 
+    def truncate_feed(self, name: str, *, version: Optional[int] = None,
+                      seq: Optional[int] = None) -> Dict:
+        """Checkpoint the update feed
+        (``POST /graphs/<name>/updates/feed/truncate``).
+
+        Drops journaled batches covered by a durably shipped store
+        ``version`` (or an explicit feed ``seq``); lagging consumers
+        past the new floor see ``complete=False`` and must resync.
+        """
+        body: Dict[str, object] = {}
+        if version is not None:
+            body["version"] = version
+        if seq is not None:
+            body["seq"] = seq
+        return self._request(
+            "POST", f"/graphs/{name}/updates/feed/truncate", body=body)
+
     def persist_scores(self, name: str) -> List[int]:
         """Persist the hot score cache (``POST /graphs/<name>/scores``)."""
         return self._request(

@@ -17,6 +17,8 @@ Method     Path                           Meaning
 ``GET``    ``/graphs/<name>/updates/feed``  applied batches after ``since``
                                           (long-poll via ``timeout``)
 ``POST``   ``/graphs/<name>/updates``     apply an edge batch
+``POST``   ``/graphs/<name>/updates/feed/truncate``  checkpoint the feed
+                                          (``{"version": N}`` or ``{"seq": N}``)
 ``POST``   ``/graphs/<name>/scores``      persist the hot score cache
 ``POST``   ``/compact``                   compact the shared store
 ``GET``    ``/stats``                     whole-fleet counters
@@ -307,6 +309,9 @@ class DiversityRequestHandler(BaseHTTPRequestHandler):
         if method == "POST" and rest == ["updates"]:
             updates = _coerce_updates(self._read_body())
             report = router.apply_updates(name, updates)
+            # One snapshot read keeps version and key from the same
+            # post-apply state (the cluster journals both together).
+            snapshot = router.service(name).snapshot
             self._respond(200, {
                 "graph": name,
                 "num_updates": report.num_updates,
@@ -318,7 +323,28 @@ class DiversityRequestHandler(BaseHTTPRequestHandler):
                 "retained_thresholds": list(report.retained_thresholds),
                 "vertex_set_changed": report.vertex_set_changed,
                 "seconds": report.seconds,
-                "version": router.service(name).snapshot.version,
+                "version": snapshot.version,
+                "key": snapshot.key,
+            })
+            return True
+        if method == "POST" and rest == ["updates", "feed", "truncate"]:
+            router.service(name)  # 404 for unregistered graphs
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise InvalidParameterError(
+                    'expected {"version": N} or {"seq": N}')
+            if body.get("version") is not None:
+                dropped = self.router.feed.truncate_version(
+                    name, int(body["version"]))
+            elif body.get("seq") is not None:
+                dropped = self.router.feed.truncate(name, int(body["seq"]))
+            else:
+                raise InvalidParameterError(
+                    'expected {"version": N} or {"seq": N}')
+            self._respond(200, {
+                "graph": name,
+                "dropped": dropped,
+                "last_seq": self.router.feed.last_seq(name),
             })
             return True
         if method == "POST" and rest == ["scores"]:

@@ -219,15 +219,23 @@ class TestRollingRestartAndMove:
             for name, oracle in finals.items():
                 assert json.dumps(_answer(client, name)) == \
                     json.dumps(_oracle_answer(oracle)), name
-            assert fleet.journal_length("alpha") == 2
+            # Both acked batches were journaled; replication passes may
+            # already have checkpointed a durable prefix away, so the
+            # retained suffix is only bounded above.
+            assert fleet.journal_total("alpha") == 2
+            assert fleet.journal_length("alpha") <= 2
 
             # Satellite: supervision surfaced through /healthz + /stats.
             health = client.healthz()
             assert sum(health["respawns"]) >= 2
             assert health["status"] == "ok"
-            supervision = client.stats()["supervision"]
+            stats = client.stats()
+            supervision = stats["supervision"]
             assert supervision["followers"] == 1
             assert supervision["respawns_total"] >= 2
+            journal = stats["journal"]["graphs"]["alpha"]
+            assert journal["total"] == 2
+            assert journal["entries"] + journal["checkpointed"] == 2
             client.close()
         finally:
             for reader in readers:
@@ -240,10 +248,11 @@ class TestReplicaFailover:
     """A destroyed primary store root recovers from the follower copy
     alone — and a corrupt follower is refused, never trusted."""
 
-    def _fleet(self):
+    def _fleet(self, journal_window=128):
         return ShardedCluster(workers=1, pins={"alpha": 0},
                               store_codec="bin", supervise=False,
-                              followers=1, replication_interval=900.0)
+                              followers=1, replication_interval=900.0,
+                              journal_window=journal_window)
 
     def test_warm_failover_from_replica(self):
         fleet = self._fleet()
@@ -278,7 +287,11 @@ class TestReplicaFailover:
             fleet.stop()
 
     def test_corrupt_replica_refused_then_repaired(self):
-        fleet = self._fleet()
+        # Checkpointing off: the repair-in-place half of this test
+        # needs the respawn to replay the *original* registration +
+        # full journal, whose canonical rebuild converges to the same
+        # version chain (and relpaths) the corrupt replica holds.
+        fleet = self._fleet(journal_window=0)
         fleet.start(port=0)
         try:
             client = ServerClient(fleet.url, timeout=10.0)

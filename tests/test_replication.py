@@ -345,6 +345,18 @@ class TestUpdateFeed:
         assert decoded.updates == (("insert", (0, 1), (2, 3)),)
         assert decoded.seq == 1 and decoded.version == 4
 
+    def test_payload_version_coerced_to_int(self):
+        # Hand-rolled clients may send the version as a JSON string;
+        # checkpoint floor comparisons must never mix str and int.
+        wire = {"seq": "3", "graph": "g",
+                "updates": [["insert", 1, 2]], "version": "7"}
+        decoded = entry_from_payload(wire)
+        assert decoded.version == 7 and isinstance(decoded.version, int)
+        assert decoded.seq == 3 and isinstance(decoded.seq, int)
+        absent = entry_from_payload(
+            {"seq": 1, "graph": "g", "updates": []})
+        assert absent.version is None
+
     def test_drop_forgets_the_graph(self):
         feed = UpdateFeed()
         feed.append("g", [("insert", 1, 2)])
@@ -352,6 +364,56 @@ class TestUpdateFeed:
         assert feed.since("g", 0) == ([], 0, True)
         with pytest.raises(ValueError):
             UpdateFeed(capacity=0)
+
+    def test_truncate_raises_floor_and_flags_laggards(self):
+        feed = UpdateFeed()
+        for i in range(5):
+            feed.append("g", [("insert", i, i + 1)], version=i + 1)
+        assert feed.truncate("g", 3) == 3
+        entries, last, complete = feed.since("g", 3)
+        assert [e.seq for e in entries] == [4, 5]
+        assert last == 5 and complete  # at the floor: suffix is whole
+        # A consumer that slept past the truncation point must resync.
+        _, _, complete = feed.since("g", 1)
+        assert not complete
+        # Idempotent: re-truncating at or below the floor drops nothing.
+        assert feed.truncate("g", 3) == 0
+        assert feed.truncate("missing", 10) == 0
+
+    def test_truncate_wakes_parked_laggard(self):
+        feed = UpdateFeed()
+        for i in range(3):
+            feed.append("g", [("insert", i, i + 1)])
+        results = []
+
+        def poll():
+            results.append(feed.wait("g", 3, timeout=10))
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        time.sleep(0.05)
+        feed.truncate("g", 3)
+        feed.append("g", [("insert", 9, 10)])
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        entries, last, complete = results[0]
+        assert [e.seq for e in entries] == [4] and last == 4 and complete
+
+    def test_truncate_version_maps_to_seq_prefix(self):
+        feed = UpdateFeed()
+        feed.append("g", [("insert", 0, 1)], version=5)
+        feed.append("g", [("insert", 1, 2)], version=6)
+        feed.append("g", [("insert", 2, 3)], version=9)
+        assert feed.truncate_version("g", 6) == 2
+        entries, _, complete = feed.since("g", 2)
+        assert [e.version for e in entries] == [9] and complete
+        _, _, complete = feed.since("g", 0)
+        assert not complete  # below the raised floor
+        assert feed.truncate_version("g", 4) == 0
+        assert feed.truncate_version("ghost", 99) == 0
+        # Entries without a version are never folded by version.
+        feed.append("h", [("insert", 1, 2)])
+        assert feed.truncate_version("h", 99) == 0
 
 
 # ----------------------------------------------------------------------
@@ -421,6 +483,30 @@ class TestFeedEndpoint:
         with pytest.raises(ServerError) as excinfo:
             client._request("GET", "/graphs/g/updates/feed",
                             params={"timeout": "soon"})
+        assert excinfo.value.status == 400
+
+    def test_truncate_endpoint_drives_the_resync_path(self, served_router):
+        _, client = served_router
+        acks = [client.apply_updates("g", [("insert", "tail1", "tail2")]),
+                client.apply_updates("g", [("insert", "tail2", "c1")])]
+        # The ack carries the post-apply store coordinates the cluster
+        # journals for checkpointing (no store here, so key is None).
+        assert [a["version"] for a in acks] == [1, 2]
+        assert all("key" in a for a in acks)
+        answer = client.truncate_feed("g", version=acks[0]["version"])
+        assert answer["dropped"] == 1 and answer["last_seq"] == 2
+        # A consumer polling from before the truncation must resync;
+        # one at the floor still replays the suffix completely.
+        assert client.update_feed("g", since=0)["complete"] is False
+        tail = client.update_feed("g", since=1)
+        assert tail["complete"] and [e["seq"] for e in tail["entries"]] == [2]
+        # Explicit-seq form, and the validation errors.
+        assert client.truncate_feed("g", seq=2)["dropped"] == 1
+        with pytest.raises(ServerError) as excinfo:
+            client.truncate_feed("ghost", version=1)
+        assert excinfo.value.status == 404
+        with pytest.raises(ServerError) as excinfo:
+            client.truncate_feed("g")
         assert excinfo.value.status == 400
 
     def test_remove_graph_drops_feed_and_unhooks(self, served_router):
